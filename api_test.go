@@ -1,0 +1,87 @@
+package dvv_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	dvv "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, verified.
+	var s []dvv.Clock
+	w1, s := dvv.Put(s, dvv.NewContext(), "serverA")
+	if w1.Dot() != dvv.NewDot("serverA", 1) {
+		t.Fatalf("w1 = %v", w1)
+	}
+	ctx := dvv.Context(s)
+	w2, s := dvv.Put(s, ctx, "serverA")
+	if !w1.Before(w2) {
+		t.Fatal("w2 must dominate w1")
+	}
+	if len(s) != 1 {
+		t.Fatalf("siblings = %v", s)
+	}
+	// A concurrent write with the stale context forks.
+	w3, s := dvv.Put(s, ctx, "serverA")
+	if !w3.Concurrent(w2) || len(s) != 2 {
+		t.Fatalf("expected fork: %v", s)
+	}
+	// Sync is idempotent on the same set.
+	if got := dvv.Sync(s, s); len(got) != 2 {
+		t.Fatalf("sync = %v", got)
+	}
+	// Discard with the full context empties the set.
+	if got := dvv.Discard(s, dvv.Context(s)); len(got) != 0 {
+		t.Fatalf("discard = %v", got)
+	}
+}
+
+func TestMechanismRegistryExposed(t *testing.T) {
+	ms := dvv.Mechanisms()
+	for _, name := range []string{"dvv", "dvvset", "clientvv", "servervv", "oracle"} {
+		if _, ok := ms[name]; !ok {
+			t.Errorf("missing mechanism %q", name)
+		}
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	c, err := dvv.NewCluster(dvv.ClusterConfig{Mech: dvv.NewDVVMechanism(), Nodes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.NewClient("facade-client", dvv.RouteCoordinator)
+	ctx := context.Background()
+	if err := cl.Put(ctx, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(vals))
+	for i, v := range vals {
+		got[i] = string(v)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"v1"}) {
+		t.Fatalf("get = %v", got)
+	}
+}
+
+func TestSetFacade(t *testing.T) {
+	s := dvv.NewSet[string]()
+	s.Update(dvv.NewContext(), "a", "srv")
+	s.Update(dvv.NewContext(), "b", "srv")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Update(s.Join(), "merged", "srv")
+	if got := s.Values(); len(got) != 1 || got[0] != "merged" {
+		t.Fatalf("Values = %v", got)
+	}
+}

@@ -1,0 +1,271 @@
+// Benchmarks regenerating the paper's quantitative claims; each family
+// maps to a row of the experiment index in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// C1  BenchmarkCompare*            — O(1) DVV check vs O(n) VV compare
+// C2  BenchmarkMetadataGrowth*     — per-version metadata vs writer count
+// C3  BenchmarkCluster*            — request path cost per mechanism
+// C4  BenchmarkPruningCompare      — anomaly accounting cost (oracle diff)
+// A1  BenchmarkDVVSet*             — compact set vs per-version clocks
+package dvv_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	dvv "repro"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/svv"
+	"repro/internal/vv"
+)
+
+var (
+	sinkBool  bool
+	sinkInt   int
+	sinkBytes []byte
+)
+
+// wideVectors builds a dominated/dominating VV pair with n entries and the
+// corresponding DVV clocks.
+func wideVectors(n int) (a, b dvv.Clock, va, vb dvv.VV) {
+	va, vb = dvv.NewContext(), dvv.NewContext()
+	for i := 0; i < n; i++ {
+		id := dvv.ID(fmt.Sprintf("s%05d", i))
+		va.Set(id, 3)
+		vb.Set(id, 4)
+	}
+	a = dvv.NewClock(dvv.NewDot("s00000", 4), va.Clone())
+	b = dvv.NewClock(dvv.NewDot("s00001", 5), vb.Clone())
+	return
+}
+
+// C1 — the headline O(1) vs O(n) comparison.
+func BenchmarkCompareDVVDotCheck(b *testing.B) {
+	for _, n := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			ca, cb, _, _ := wideVectors(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkBool = ca.Before(cb)
+			}
+		})
+	}
+}
+
+func BenchmarkCompareVVDescends(b *testing.B) {
+	for _, n := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			_, _, va, vb := wideVectors(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkBool = vb.Descends(va)
+			}
+		})
+	}
+}
+
+func BenchmarkCompareSVVSummary(b *testing.B) {
+	for _, n := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			_, _, va, vb := wideVectors(n)
+			sa, sb := svv.FromVV(va), svv.FromVV(vb)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkBool = sa.Descends(sb) // summary fast-reject path
+			}
+		})
+	}
+}
+
+// Kernel operation costs.
+func BenchmarkKernelPut(b *testing.B) {
+	var s []dvv.Clock
+	_, s = dvv.Put(s, dvv.NewContext(), "A")
+	ctx := dvv.Context(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, out := dvv.Put(s, ctx, "A")
+		sinkInt = len(out)
+	}
+}
+
+func BenchmarkKernelSync(b *testing.B) {
+	for _, siblings := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("siblings-%d", siblings), func(b *testing.B) {
+			var s1 []dvv.Clock
+			_, s1 = dvv.Put(s1, dvv.NewContext(), "A")
+			base := dvv.Context(s1)
+			for i := 1; i < siblings; i++ {
+				_, s1 = dvv.Put(s1, base, dvv.ID(fmt.Sprintf("S%d", i%3)))
+			}
+			s2 := dvv.Sync(s1, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkInt = len(dvv.Sync(s1, s2))
+			}
+		})
+	}
+}
+
+// C2 — per-version metadata bytes as the writer count grows. The benches
+// report bytes/version as a custom metric so `-bench Metadata` prints the
+// paper's series.
+func BenchmarkMetadataGrowth(b *testing.B) {
+	for _, mechName := range []string{"dvv", "clientvv"} {
+		for _, clients := range []int{4, 32, 256} {
+			b.Run(fmt.Sprintf("%s/clients-%d", mechName, clients), func(b *testing.B) {
+				m := dvv.Mechanisms()[mechName]
+				cfg := oracle.TraceConfig{
+					Ops: clients * 8, Replicas: 3, Clients: clients,
+					PSync: 0.15, PStale: 0.4,
+				}
+				trace := oracle.RandomTrace(rand.New(rand.NewSource(42)), cfg)
+				b.ResetTimer()
+				var maxVersionBytes int
+				for i := 0; i < b.N; i++ {
+					run := oracle.NewRun(m, 3)
+					if err := run.Replay(trace); err != nil {
+						b.Fatal(err)
+					}
+					maxVersionBytes = run.MaxVersionBytes
+				}
+				b.ReportMetric(float64(maxVersionBytes), "bytes/version")
+			})
+		}
+	}
+}
+
+// C3 — request path cost over the in-memory cluster (no injected
+// latency: measures protocol + clock overhead only).
+func BenchmarkClusterPut(b *testing.B) {
+	for _, mechName := range []string{"dvv", "dvvset", "clientvv"} {
+		b.Run(mechName, func(b *testing.B) {
+			c, err := dvv.NewCluster(dvv.ClusterConfig{
+				Mech: dvv.Mechanisms()[mechName], Nodes: 5, N: 3, R: 2, W: 2, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			cl := c.NewClient("bench", dvv.RouteCoordinator)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cl.Put(ctx, fmt.Sprintf("key-%d", i%64), []byte("value")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClusterGet(b *testing.B) {
+	for _, mechName := range []string{"dvv", "dvvset", "clientvv"} {
+		b.Run(mechName, func(b *testing.B) {
+			c, err := dvv.NewCluster(dvv.ClusterConfig{
+				Mech: dvv.Mechanisms()[mechName], Nodes: 5, N: 3, R: 2, W: 2, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			cl := c.NewClient("bench", dvv.RouteCoordinator)
+			ctx := context.Background()
+			for i := 0; i < 64; i++ {
+				if err := cl.Put(ctx, fmt.Sprintf("key-%d", i), []byte("value")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Get(ctx, fmt.Sprintf("key-%d", i%64)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// C4 — cost of the anomaly instrument itself (oracle lockstep compare).
+func BenchmarkPruningCompare(b *testing.B) {
+	cfg := oracle.TraceConfig{Ops: 200, Replicas: 3, Clients: 16, PSync: 0.15, PStale: 0.5}
+	trace := oracle.RandomTrace(rand.New(rand.NewSource(7)), cfg)
+	m := core.NewPrunedClientVV(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oracle.Compare(m, trace, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A1 — compact set vs per-version clocks on the storm shape.
+func BenchmarkDVVSetUpdate(b *testing.B) {
+	s := dvv.NewSet[[]byte]()
+	s.Update(vv.New(), []byte("base"), "A")
+	ctx := s.Join()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := s.Clone()
+		c.Update(ctx, []byte("sibling"), "A")
+		sinkInt = c.Len()
+	}
+}
+
+func BenchmarkDVVSetSync(b *testing.B) {
+	a := dvv.NewSet[[]byte]()
+	a.Update(vv.New(), []byte("base"), "A")
+	ctx := a.Join()
+	for i := 0; i < 8; i++ {
+		a.Update(ctx, []byte("sib"), "A")
+	}
+	peer := a.Clone()
+	peer.Update(peer.Join(), []byte("w"), "B")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := a.Clone()
+		c.Sync(peer)
+		sinkInt = c.Len()
+	}
+}
+
+// Codec costs (the measurement instrument).
+func BenchmarkCodecEncodeClock(b *testing.B) {
+	c, _, _, _ := wideVectors(16)
+	w := codec.NewWriter(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		codec.EncodeClock(w, c)
+		sinkBytes = w.Bytes()
+	}
+}
+
+func BenchmarkCodecDecodeClock(b *testing.B) {
+	c, _, _, _ := wideVectors(16)
+	w := codec.NewWriter(512)
+	codec.EncodeClock(w, c)
+	raw := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := codec.NewReader(raw)
+		cc := codec.DecodeClock(r)
+		sinkInt = cc.Size()
+	}
+}

@@ -1,0 +1,117 @@
+// Command dvvbench regenerates the paper's tables and figures (see the
+// experiment index in DESIGN.md and the results in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dvvbench -experiment all            # every table
+//	dvvbench -experiment fig1           # Figure 1 replay (3 panels)
+//	dvvbench -experiment verdict        # Figure 1 verdict summary
+//	dvvbench -experiment compare        # C1: O(1) vs O(n) check cost
+//	dvvbench -experiment metadata       # C2: metadata vs writer count
+//	dvvbench -experiment siblings       # C2b: sibling counts
+//	dvvbench -experiment riak           # C3: cluster latency/traffic
+//	dvvbench -experiment pruning        # C4: pruning safety
+//	dvvbench -experiment ablation       # A1: DVV vs DVVSet
+//	dvvbench -experiment riak -csv      # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dvvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|all")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed       = fs.Int64("seed", 42, "experiment seed")
+		ops        = fs.Int("ops", 0, "override operation count (riak)")
+		clients    = fs.Int("clients", 0, "override client count (riak)")
+		nodes      = fs.Int("nodes", 0, "override node count (riak)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	emit := func(tables ...*stats.Table) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Println("# " + t.Title)
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+
+	runOne := func(name string) error {
+		start := time.Now()
+		switch name {
+		case "fig1":
+			emit(sim.RunFigure1())
+		case "verdict":
+			emit(sim.Figure1Verdict())
+		case "compare":
+			emit(sim.RunCompareCost(sim.DefaultCompareConfig()))
+		case "metadata":
+			cfg := sim.DefaultMetadataConfig()
+			cfg.Seed = *seed
+			emit(sim.RunMetadataSweep(cfg))
+		case "siblings":
+			cfg := sim.DefaultMetadataConfig()
+			cfg.Seed = *seed
+			emit(sim.RunSiblingSweep(cfg))
+		case "riak":
+			cfg := sim.DefaultRiakConfig()
+			cfg.Seed = *seed
+			if *ops > 0 {
+				cfg.Ops = *ops
+			}
+			if *clients > 0 {
+				cfg.Clients = *clients
+			}
+			if *nodes > 0 {
+				cfg.Nodes = *nodes
+			}
+			_, table, err := sim.RunRiak(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
+		case "pruning":
+			cfg := sim.DefaultPruningConfig()
+			cfg.Seed = *seed
+			emit(sim.RunPruningSafety(cfg))
+		case "ablation":
+			emit(sim.RunDVVSetAblation(sim.DefaultAblationConfig()),
+				sim.RunAblationTrace(sim.DefaultAblationConfig()))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Fprintf(os.Stderr, "[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(*experiment)
+}

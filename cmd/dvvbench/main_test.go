@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunFastExperiments(t *testing.T) {
+	for _, exp := range []string{"fig1", "verdict", "ablation"} {
+		if err := run([]string{"-experiment", exp}); err != nil {
+			t.Errorf("experiment %s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	if err := run([]string{"-experiment", "verdict", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Command dvvstore runs a real replicated key-value store over TCP with
+// dotted-version-vector causality — a minimal Riak-like deployment of the
+// library.
+//
+// Start a three-node cluster (each in its own terminal or backgrounded):
+//
+//	dvvstore serve -id n0 -listen 127.0.0.1:7001 -peers n0=127.0.0.1:7001,n1=127.0.0.1:7002,n2=127.0.0.1:7003
+//	dvvstore serve -id n1 -listen 127.0.0.1:7002 -peers n0=127.0.0.1:7001,n1=127.0.0.1:7002,n2=127.0.0.1:7003
+//	dvvstore serve -id n2 -listen 127.0.0.1:7003 -peers n0=127.0.0.1:7001,n1=127.0.0.1:7002,n2=127.0.0.1:7003
+//
+// Then use the client:
+//
+//	dvvstore put -addr 127.0.0.1:7001 -key greeting -value hello
+//	dvvstore get -addr 127.0.0.1:7001 -key greeting
+//	dvvstore put -addr 127.0.0.1:7001 -key greeting -value hi -context <ctx from get>
+//
+// Get prints the sibling values and an opaque causal context (hex); pass
+// that context to put to overwrite what was read. Puts without a context
+// are blind writes and fork siblings.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/node"
+	"repro/internal/ring"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dvvstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return errors.New("usage: dvvstore serve|get|put|stats [flags]")
+	}
+	switch args[0] {
+	case "serve":
+		return serve(args[1:])
+	case "get":
+		return clientGet(args[1:])
+	case "put":
+		return clientPut(args[1:])
+	case "stats":
+		return clientStats(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func parsePeers(s string) (map[dot.ID]string, error) {
+	out := make(map[dot.ID]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		out[dot.ID(id)] = addr
+	}
+	return out, nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		id     = fs.String("id", "n0", "node id")
+		listen = fs.String("listen", "127.0.0.1:7001", "listen address")
+		peers  = fs.String("peers", "", "comma-separated id=host:port list including self")
+		n      = fs.Int("n", 3, "replication degree")
+		r      = fs.Int("r", 2, "read quorum")
+		w      = fs.Int("w", 2, "write quorum")
+		ae     = fs.Duration("anti-entropy", 5*time.Second, "anti-entropy interval (0 disables)")
+		mech   = fs.String("mechanism", "dvv", "causality mechanism (dvv|dvvset|clientvv|servervv|oracle)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	if len(addrs) == 0 {
+		addrs = map[dot.ID]string{dot.ID(*id): *listen}
+	}
+	addrs[dot.ID(*id)] = *listen
+	m, ok := core.Registry()[*mech]
+	if !ok {
+		return fmt.Errorf("unknown mechanism %q", *mech)
+	}
+	tcp := transport.NewTCP(dot.ID(*id), addrs)
+	if err := tcp.Listen(); err != nil {
+		return err
+	}
+	defer tcp.Close()
+	rg := ring.New(0)
+	for peer := range addrs {
+		rg.Add(peer)
+	}
+	clamp := func(v int) int {
+		if v > len(addrs) {
+			return len(addrs)
+		}
+		return v
+	}
+	nd, err := node.New(node.Config{
+		ID: dot.ID(*id), Mech: m, Transport: tcp, Ring: rg,
+		N: clamp(*n), R: clamp(*r), W: clamp(*w),
+		Timeout: 5 * time.Second, ReadRepair: true,
+		AntiEntropyInterval: *ae,
+	})
+	if err != nil {
+		return err
+	}
+	defer nd.Close()
+	fmt.Printf("dvvstore: node %s serving on %s (mechanism=%s N=%d R=%d W=%d, %d members)\n",
+		*id, tcp.Addr(), *mech, clamp(*n), clamp(*r), clamp(*w), rg.Size())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dvvstore: shutting down")
+	return nil
+}
+
+// clientTransport builds a one-shot TCP client transport to addr.
+func clientTransport(addr string) (*transport.TCP, dot.ID) {
+	server := dot.ID("server")
+	t := transport.NewTCP("cli", map[dot.ID]string{server: addr})
+	return t, server
+}
+
+func clientGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ContinueOnError)
+	var (
+		addr = fs.String("addr", "127.0.0.1:7001", "any node address")
+		key  = fs.String("key", "", "key to read")
+		mech = fs.String("mechanism", "dvv", "mechanism the cluster runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key == "" {
+		return errors.New("get: -key required")
+	}
+	m, ok := core.Registry()[*mech]
+	if !ok {
+		return fmt.Errorf("unknown mechanism %q", *mech)
+	}
+	t, server := clientTransport(*addr)
+	defer t.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := t.Send(ctx, "cli", server, transport.Request{
+		Method: node.MethodGet, Body: node.EncodeGetRequest(*key),
+	})
+	if err != nil {
+		return err
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return aerr
+	}
+	rr, err := node.DecodeReadResult(m, resp.Body)
+	if err != nil {
+		return err
+	}
+	if len(rr.Values) == 0 {
+		fmt.Println("(not found)")
+	}
+	for i, v := range rr.Values {
+		fmt.Printf("value[%d]: %s\n", i, v)
+	}
+	w := codec.NewWriter(64)
+	m.EncodeContext(w, rr.Ctx)
+	fmt.Printf("context: %s\n", hex.EncodeToString(w.Bytes()))
+	return nil
+}
+
+func clientPut(args []string) error {
+	fs := flag.NewFlagSet("put", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:7001", "any node address")
+		key    = fs.String("key", "", "key to write")
+		value  = fs.String("value", "", "value to write")
+		ctxHex = fs.String("context", "", "causal context from a previous get (hex); empty = blind write")
+		client = fs.String("client", "cli", "client identity")
+		mech   = fs.String("mechanism", "dvv", "mechanism the cluster runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key == "" {
+		return errors.New("put: -key required")
+	}
+	m, ok := core.Registry()[*mech]
+	if !ok {
+		return fmt.Errorf("unknown mechanism %q", *mech)
+	}
+	wctx := m.EmptyContext()
+	if *ctxHex != "" {
+		raw, err := hex.DecodeString(*ctxHex)
+		if err != nil {
+			return fmt.Errorf("put: bad -context: %w", err)
+		}
+		r := codec.NewReader(raw)
+		wctx, err = m.DecodeContext(r)
+		if err != nil {
+			return fmt.Errorf("put: bad -context: %w", err)
+		}
+	}
+	t, server := clientTransport(*addr)
+	defer t.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := t.Send(ctx, dot.ID(*client), server, transport.Request{
+		Method: node.MethodPut,
+		Body:   node.EncodePutRequest(m, *key, wctx, []byte(*value), dot.ID(*client)),
+	})
+	if err != nil {
+		return err
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return aerr
+	}
+	rr, err := node.DecodeReadResult(m, resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok: %d sibling(s) after write\n", len(rr.Values))
+	w := codec.NewWriter(64)
+	m.EncodeContext(w, rr.Ctx)
+	fmt.Printf("context: %s\n", hex.EncodeToString(w.Bytes()))
+	return nil
+}
+
+func clientStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7001", "node address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, server := clientTransport(*addr)
+	defer t.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := t.Send(ctx, "cli", server, transport.Request{Method: node.MethodStats})
+	if err != nil {
+		return err
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return aerr
+	}
+	st, err := node.DecodeStats(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%+v\n", st)
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"n0=127.0.0.1:7001", 1, false},
+		{"n0=127.0.0.1:7001,n1=127.0.0.1:7002", 2, false},
+		{"bad", 0, true},
+		{"=addr", 0, true},
+		{"id=", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parsePeers(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parsePeers(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && len(got) != tt.want {
+			t.Errorf("parsePeers(%q) = %d entries, want %d", tt.in, len(got), tt.want)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("empty args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"get"}); err == nil {
+		t.Fatal("get without -key accepted")
+	}
+	if err := run([]string{"put"}); err == nil {
+		t.Fatal("put without -key accepted")
+	}
+	if err := run([]string{"get", "-key", "k", "-mechanism", "bogus"}); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+	if err := run([]string{"put", "-key", "k", "-context", "zz"}); err == nil {
+		t.Fatal("bad context hex accepted")
+	}
+}

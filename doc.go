@@ -1,0 +1,30 @@
+// Package dvv is a Go implementation of dotted version vectors (Preguiça,
+// Baquero, Almeida, Fonte, Gonçalves — "Brief Announcement: Efficient
+// Causality Tracking in Distributed Storage Systems With Dotted Version
+// Vectors", PODC 2012), together with the replicated-storage substrate the
+// paper evaluates on and every baseline it compares against.
+//
+// The package re-exports the core clock API and the cluster substrate so
+// applications can depend on a single import:
+//
+//	c1, s := dvv.Put(nil, dvv.NewContext(), "serverA")   // first write
+//	ctx := dvv.Context(s)                                 // client context
+//	c2, s := dvv.Put(s, ctx, "serverA")                   // overwrite
+//	_ = c1.Before(c2)                                     // O(1) causality
+//
+// Three layers are exposed:
+//
+//   - Clock layer: Clock, VV, Dot and the server-side kernel (Update,
+//     Sync, Context, Discard) — the paper's contribution in its purest
+//     form (internal/dvv).
+//   - Mechanism layer: the pluggable causality interface with DVV, DVVSet,
+//     client-VV, server-VV, pruned-VV and causal-history implementations
+//     (internal/core), used by the storage engine.
+//   - Cluster layer: replica nodes, consistent-hashing ring, quorum
+//     coordination, read repair and anti-entropy over in-memory or TCP
+//     transports (internal/cluster et al.).
+//
+// The experiment harness that regenerates the paper's figures lives in
+// internal/sim and is exposed through cmd/dvvbench; EXPERIMENTS.md records
+// paper-vs-measured results.
+package dvv

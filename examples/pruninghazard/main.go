@@ -1,0 +1,57 @@
+// Pruning hazard: the paper's safety argument, live. The same racing
+// trace is replayed under (a) client-entry version vectors with Riak-style
+// optimistic pruning and (b) dotted version vectors, both checked in
+// lockstep against exact causal histories. Pruning forgets dots, so
+// overwritten siblings resurface as false concurrency — with fewer bytes
+// of metadata than DVV needs to stay exact.
+//
+//	go run ./examples/pruninghazard
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	dvv "repro"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+)
+
+func main() {
+	cfg := oracle.TraceConfig{
+		Ops:      500,
+		Replicas: 3,
+		Clients:  32,
+		PSync:    0.15,
+		PStale:   0.5, // half the writes race on stale contexts
+	}
+	table := stats.NewTable(
+		"500 racing ops, 32 clients, 3 replicas — anomalies vs exact causal histories",
+		"mechanism", "lost updates", "false concurrency", "permanently divergent", "max metadata B")
+	for _, m := range []dvv.Mechanism{
+		dvv.NewPrunedClientVVMechanism(4),
+		dvv.NewClientVVMechanism(),
+		dvv.NewDVVMechanism(),
+	} {
+		trace := oracle.RandomTrace(rand.New(rand.NewSource(2012)), cfg)
+		anomalies, err := oracle.Compare(m, trace, cfg.Replicas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := oracle.NewRun(m, cfg.Replicas)
+		if err := run.Replay(trace); err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(m.Name(), anomalies.LostUpdates, anomalies.FalseConcurrency,
+			anomalies.FinalLost+anomalies.FinalFalse, run.MaxMetadataBytes)
+	}
+	fmt.Println(table.String())
+	fmt.Println(`Reading the table:
+  * prunedvv-4 caps every tag at 4 entries — bounded metadata, but the
+    forgotten dots cause overwritten versions to reappear as (false)
+    concurrent siblings, some of which never converge away.
+  * clientvv is exact but needs unbounded per-writer entries.
+  * dvv is exact AND bounded — one vector entry per replica server plus
+    the dot. This is the trade the paper resolves.`)
+}

@@ -1,0 +1,179 @@
+// Package antientropy provides Merkle-style digests for replica
+// reconciliation: instead of exchanging every key's hash, two replicas
+// exchange a fixed-size bucket tree and descend only into the buckets that
+// differ, so the digest traffic is O(buckets + divergent keys) rather than
+// O(total keys). The node layer uses these digests when stores grow beyond
+// a threshold; the flat key-list exchange remains for small stores.
+package antientropy
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultBuckets is the leaf count used by the node layer. A power of two
+// keeps index arithmetic exact.
+const DefaultBuckets = 256
+
+// Digest is a two-level Merkle summary of a key set: a leaf hash per
+// bucket plus interior levels up to the root. Leaves combine the per-key
+// state hashes of every key mapping to the bucket.
+type Digest struct {
+	// Levels[0] is the leaf layer (len = buckets); each higher level
+	// halves the node count; the last level has a single root.
+	Levels [][]uint64
+}
+
+// BucketOf maps a key to its leaf index.
+func BucketOf(key string, buckets int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(buckets))
+}
+
+// combine mixes two child hashes into a parent hash (order-sensitive).
+func combine(a, b uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	for i := 0; i < 8; i++ {
+		h ^= (a >> (8 * i)) & 0xFF
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (b >> (8 * i)) & 0xFF
+		h *= prime
+	}
+	return h
+}
+
+// mixKey folds one key's state hash into a bucket (commutative fold so
+// insertion order does not matter).
+func mixKey(bucket uint64, key string, stateHash uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(stateHash >> (8 * i))
+	}
+	h.Write(b[:])
+	return bucket ^ h.Sum64() // XOR: commutative, self-inverse
+}
+
+// Build constructs a digest over the (key, stateHash) pairs. buckets must
+// be a power of two ≥ 2; values ≤ 0 select DefaultBuckets.
+func Build(hashes map[string]uint64, buckets int) Digest {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	// Round up to a power of two.
+	for buckets&(buckets-1) != 0 {
+		buckets++
+	}
+	leaves := make([]uint64, buckets)
+	for k, h := range hashes {
+		i := BucketOf(k, buckets)
+		leaves[i] = mixKey(leaves[i], k, h)
+	}
+	return FromLeaves(leaves)
+}
+
+// FromLeaves reconstructs a digest from its leaf layer (interior levels
+// are derived). Used on the receiving side of a digest exchange: only the
+// leaves cross the wire.
+func FromLeaves(leaves []uint64) Digest {
+	if len(leaves) == 0 {
+		return Digest{}
+	}
+	levels := [][]uint64{leaves}
+	for len(levels[len(levels)-1]) > 1 {
+		prev := levels[len(levels)-1]
+		next := make([]uint64, (len(prev)+1)/2)
+		for i := range next {
+			a := prev[2*i]
+			var b uint64
+			if 2*i+1 < len(prev) {
+				b = prev[2*i+1]
+			}
+			next[i] = combine(a, b)
+		}
+		levels = append(levels, next)
+	}
+	return Digest{Levels: levels}
+}
+
+// Root returns the digest's root hash (0 for an empty digest).
+func (d Digest) Root() uint64 {
+	if len(d.Levels) == 0 {
+		return 0
+	}
+	top := d.Levels[len(d.Levels)-1]
+	if len(top) == 0 {
+		return 0
+	}
+	return top[0]
+}
+
+// Buckets returns the leaf count.
+func (d Digest) Buckets() int {
+	if len(d.Levels) == 0 {
+		return 0
+	}
+	return len(d.Levels[0])
+}
+
+// DiffBuckets returns the leaf indexes whose hashes differ between a and
+// b, found by descending the tree from the root (so matching subtrees are
+// skipped in O(1)). The two digests must have the same bucket count; if
+// not, all buckets of the larger are reported.
+func DiffBuckets(a, b Digest) []int {
+	if a.Buckets() != b.Buckets() || a.Buckets() == 0 {
+		n := a.Buckets()
+		if b.Buckets() > n {
+			n = b.Buckets()
+		}
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if a.Root() == b.Root() {
+		return nil
+	}
+	var out []int
+	// Walk down from the top level to the leaves.
+	var walk func(level, idx int)
+	walk = func(level, idx int) {
+		if a.Levels[level][idx] == b.Levels[level][idx] {
+			return
+		}
+		if level == 0 {
+			out = append(out, idx)
+			return
+		}
+		childLevel := level - 1
+		left := 2 * idx
+		walk(childLevel, left)
+		if left+1 < len(a.Levels[childLevel]) {
+			walk(childLevel, left+1)
+		}
+	}
+	walk(len(a.Levels)-1, 0)
+	sort.Ints(out)
+	return out
+}
+
+// KeysInBuckets filters keys to those mapping into the given bucket set.
+func KeysInBuckets(keys []string, buckets int, want []int) []string {
+	wanted := make(map[int]bool, len(want))
+	for _, b := range want {
+		wanted[b] = true
+	}
+	var out []string
+	for _, k := range keys {
+		if wanted[BucketOf(k, buckets)] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

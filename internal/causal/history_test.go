@@ -1,0 +1,178 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dot"
+	"repro/internal/vv"
+)
+
+func d(node string, n uint64) dot.Dot { return dot.New(dot.ID(node), n) }
+
+func TestZeroValueUsable(t *testing.T) {
+	var h History
+	if !h.IsEmpty() || h.Len() != 0 {
+		t.Fatal("zero history not empty")
+	}
+	if h.Contains(d("A", 1)) {
+		t.Fatal("zero history contains a dot")
+	}
+	if h.String() != "{}" {
+		t.Fatalf("String = %q", h.String())
+	}
+	if !h.Equal(New()) {
+		t.Fatal("zero != empty")
+	}
+}
+
+func TestEventAndUnion(t *testing.T) {
+	h := New().Event(d("A", 1)) // {A1}
+	if !h.Contains(d("A", 1)) || h.Len() != 1 {
+		t.Fatalf("h = %v", h)
+	}
+	h2 := h.Event(d("A", 2)) // {A1,A2}
+	if h.Len() != 1 {
+		t.Fatal("Event mutated receiver")
+	}
+	u := Union(h2, Of(d("B", 1)))
+	if u.Len() != 3 || !u.Contains(d("B", 1)) {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b History
+		want vv.Ordering
+	}{
+		{"equal", Of(d("A", 1)), Of(d("A", 1)), vv.Equal},
+		{"before", Of(d("A", 1)), Of(d("A", 1), d("A", 2)), vv.Before},
+		{"after", Of(d("A", 1), d("B", 1)), Of(d("A", 1)), vv.After},
+		{"concurrent", Of(d("A", 1), d("A", 3)), Of(d("A", 1), d("A", 2)), vv.ConcurrentOrder},
+		{"empty before", New(), Of(d("A", 1)), vv.Before},
+		{"both empty", New(), New(), vv.Equal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPaperFigure1aScenario(t *testing.T) {
+	// Replays Figure 1a of the brief announcement exactly.
+	// Server A: first client write -> {A1}; same client updates -> {A1,A2}.
+	// A second client that read {A1} writes concurrently -> {A1,A3}.
+	// {A1,A3} || {A1,A2} must be concurrent.
+	w1 := New().Event(d("A", 1))
+	w2 := w1.Event(d("A", 2))
+	w3 := w1.Event(d("A", 3))
+	if w3.Compare(w2) != vv.ConcurrentOrder {
+		t.Fatalf("expected %v || %v", w3, w2)
+	}
+	// Server B receives {A1,A2} via sync, a client writes on B -> {A1,A2,B1}.
+	w4 := w2.Event(d("B", 1))
+	if w4.Compare(w2) != vv.After {
+		t.Fatal("B's write must dominate {A1,A2}")
+	}
+	if w4.Compare(w3) != vv.ConcurrentOrder {
+		t.Fatalf("expected %v || %v", w4, w3)
+	}
+	// Final write on A that read both siblings: {A1,A2,A3,A4}... the paper
+	// shows a client that read {A1,A3} and {A1,A2} writing A4.
+	w5 := Union(w3, w2).Event(d("A", 4))
+	if w5.Compare(w3) != vv.After || w5.Compare(w2) != vv.After || w5.Compare(w4) != vv.ConcurrentOrder {
+		t.Fatalf("w5=%v relations wrong", w5)
+	}
+	if got := w5.String(); got != "{A1,A2,A3,A4}" {
+		t.Fatalf("w5 = %q, want {A1,A2,A3,A4}", got)
+	}
+}
+
+func TestPrecededBy(t *testing.T) {
+	// a < b iff id_a ∈ H_b and id_a != id_b.
+	hb := Of(d("A", 1), d("A", 2)) // H_b with id_b = A2
+	if !hb.PrecededBy(d("A", 1), d("A", 2)) {
+		t.Fatal("A1 should precede b")
+	}
+	if hb.PrecededBy(d("A", 2), d("A", 2)) {
+		t.Fatal("an event does not precede itself")
+	}
+	if hb.PrecededBy(d("B", 1), d("A", 2)) {
+		t.Fatal("B1 not in history")
+	}
+}
+
+func TestFromVVAndToVV(t *testing.T) {
+	v := vv.From("A", 2, "B", 1)
+	h := FromVV(v)
+	if h.Len() != 3 {
+		t.Fatalf("FromVV = %v", h)
+	}
+	back, exact := h.ToVV()
+	if !exact || !back.Equal(v) {
+		t.Fatalf("ToVV = %v exact=%v", back, exact)
+	}
+	// A gapped history is not exactly representable.
+	gapped := Of(d("A", 1), d("A", 3))
+	wide, exact := gapped.ToVV()
+	if exact {
+		t.Fatal("gapped history reported exact")
+	}
+	if wide.Get("A") != 3 {
+		t.Fatalf("ToVV widened = %v", wide)
+	}
+}
+
+func TestCompareAgreesWithVVOnContiguous(t *testing.T) {
+	// On gap-free histories the VV order and the set-inclusion order must
+	// coincide (VVs are exact for contiguous histories).
+	r := rand.New(rand.NewSource(3))
+	ids := []dot.ID{"A", "B", "C"}
+	randVV := func() vv.VV {
+		v := vv.New()
+		for _, id := range ids {
+			if n := r.Intn(4); n > 0 {
+				v[id] = uint64(n)
+			}
+		}
+		return v
+	}
+	for i := 0; i < 300; i++ {
+		va, vb := randVV(), randVV()
+		ha, hb := FromVV(va), FromVV(vb)
+		if got, want := ha.Compare(hb), va.Compare(vb); got != want {
+			t.Fatalf("history %v vs VV %v: %v != %v", ha, hb, got, want)
+		}
+	}
+}
+
+func TestStringSortedNotation(t *testing.T) {
+	h := Of(d("B", 1), d("A", 2), d("A", 1))
+	if got := h.String(); got != "{A1,A2,B1}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Of(d("A", 1))
+	b := a.Clone().Add(d("B", 1))
+	if a.Contains(d("B", 1)) {
+		t.Fatal("Clone shares storage")
+	}
+	if !b.Contains(d("B", 1)) {
+		t.Fatal("Add lost dot")
+	}
+}
+
+func TestConcurrentSymmetry(t *testing.T) {
+	a := Of(d("A", 1), d("A", 3))
+	b := Of(d("A", 1), d("A", 2))
+	if !a.Concurrent(b) || !b.Concurrent(a) {
+		t.Fatal("concurrency must be symmetric")
+	}
+}

@@ -1,0 +1,332 @@
+// Package cluster assembles replica nodes into a running store and
+// provides the client library: context-carrying sessions that route gets
+// and puts to the right coordinator over any transport. This is the
+// top-level substrate the latency/metadata experiments (C3) and the
+// examples run against.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/node"
+	"repro/internal/ring"
+	"repro/internal/transport"
+)
+
+// Config parameterises a cluster.
+type Config struct {
+	Mech  core.Mechanism
+	Nodes int // replica servers
+
+	// N/R/W as in node.Config; defaults 3/2/2 clamped to Nodes.
+	N, R, W int
+
+	// Transport carries all traffic. If nil, an in-memory transport with
+	// no latency is created.
+	Transport transport.Transport
+
+	ReadRepair          bool
+	HintedHandoff       bool
+	AntiEntropyInterval time.Duration
+	Timeout             time.Duration
+	Seed                int64
+}
+
+// Cluster is a set of replica nodes sharing a ring and transport.
+type Cluster struct {
+	Ring      *ring.Ring
+	Nodes     []*node.Node
+	Transport transport.Transport
+	mech      core.Mechanism
+	timeout   time.Duration
+	ownsT     bool
+
+	mu      sync.Mutex
+	clients int
+}
+
+// NodeIDs returns the member ids in index order ("n00", "n01", ...).
+func NodeIDs(n int) []dot.ID {
+	out := make([]dot.ID, n)
+	for i := range out {
+		out[i] = dot.ID(fmt.Sprintf("n%02d", i))
+	}
+	return out
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Mech == nil {
+		return nil, errors.New("cluster: mechanism required")
+	}
+	if cfg.Nodes < 1 {
+		return nil, errors.New("cluster: at least one node required")
+	}
+	if cfg.N < 1 {
+		cfg.N = 3
+	}
+	if cfg.N > cfg.Nodes {
+		cfg.N = cfg.Nodes
+	}
+	if cfg.R < 1 {
+		cfg.R = (cfg.N + 1) / 2
+	}
+	if cfg.W < 1 {
+		cfg.W = (cfg.N + 1) / 2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	ownsT := false
+	if cfg.Transport == nil {
+		cfg.Transport = transport.NewMemory(transport.MemoryConfig{Seed: cfg.Seed})
+		ownsT = true
+	}
+	r := ring.New(0)
+	ids := NodeIDs(cfg.Nodes)
+	for _, id := range ids {
+		r.Add(id)
+	}
+	c := &Cluster{
+		Ring:      r,
+		Transport: cfg.Transport,
+		mech:      cfg.Mech,
+		timeout:   cfg.Timeout,
+		ownsT:     ownsT,
+	}
+	for i, id := range ids {
+		n, err := node.New(node.Config{
+			ID:                  id,
+			Mech:                cfg.Mech,
+			Transport:           cfg.Transport,
+			Ring:                r,
+			N:                   cfg.N,
+			R:                   cfg.R,
+			W:                   cfg.W,
+			Timeout:             cfg.Timeout,
+			ReadRepair:          cfg.ReadRepair,
+			HintedHandoff:       cfg.HintedHandoff,
+			AntiEntropyInterval: cfg.AntiEntropyInterval,
+			Seed:                cfg.Seed + int64(i),
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: node %s: %w", id, err)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Mechanism returns the cluster's causality mechanism.
+func (c *Cluster) Mechanism() core.Mechanism { return c.mech }
+
+// Close stops all nodes (and the transport if the cluster created it).
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.Nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.ownsT {
+		if err := c.Transport.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TotalMetadataBytes sums causal metadata across every node's store.
+func (c *Cluster) TotalMetadataBytes() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.Store().TotalMetadataBytes()
+	}
+	return total
+}
+
+// MaxKeyMetadataBytes returns the largest per-key metadata size across
+// nodes for the given key.
+func (c *Cluster) MaxKeyMetadataBytes(key string) int {
+	max := 0
+	for _, n := range c.Nodes {
+		if b := n.Store().MetadataBytes(key); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// MaxSiblings returns the largest sibling count for key across nodes.
+func (c *Cluster) MaxSiblings(key string) int {
+	max := 0
+	for _, n := range c.Nodes {
+		if s := n.Store().Siblings(key); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// Client sessions.
+// ---------------------------------------------------------------------------
+
+// RoutingPolicy selects the node a client sends each request to.
+type RoutingPolicy int
+
+// Routing policies.
+const (
+	// RouteCoordinator sends to the key's first preference node (the
+	// common case — smart client).
+	RouteCoordinator RoutingPolicy = iota + 1
+	// RouteRandom sends to a uniformly random member (dumb client /
+	// load balancer); the receiving node forwards if it does not own the
+	// key, exercising the forwarding path.
+	RouteRandom
+)
+
+// Client is a session-holding store client. Not safe for concurrent use;
+// create one per goroutine (sessions are identity-bound, as in Riak).
+type Client struct {
+	ID      dot.ID
+	cluster *Cluster
+	policy  RoutingPolicy
+	rng     *rand.Rand
+
+	// sessions holds the per-key causal context accumulated by this
+	// client (read-your-writes discipline).
+	sessions map[string]core.Context
+}
+
+// NewClient creates a client session. A zero id is assigned a unique one.
+func (c *Cluster) NewClient(id dot.ID, policy RoutingPolicy) *Client {
+	c.mu.Lock()
+	c.clients++
+	seq := c.clients
+	c.mu.Unlock()
+	if id == "" {
+		id = dot.ID(fmt.Sprintf("client-%03d", seq))
+	}
+	if policy == 0 {
+		policy = RouteCoordinator
+	}
+	return &Client{
+		ID:       id,
+		cluster:  c,
+		policy:   policy,
+		rng:      rand.New(rand.NewSource(int64(seq) * 7919)),
+		sessions: make(map[string]core.Context),
+	}
+}
+
+func (cl *Client) target(key string) (dot.ID, error) {
+	switch cl.policy {
+	case RouteRandom:
+		members := cl.cluster.Ring.Members()
+		if len(members) == 0 {
+			return "", errors.New("cluster: no members")
+		}
+		return members[cl.rng.Intn(len(members))], nil
+	default:
+		id, ok := cl.cluster.Ring.Coordinator(key)
+		if !ok {
+			return "", errors.New("cluster: no coordinator")
+		}
+		return id, nil
+	}
+}
+
+func (cl *Client) session(key string) core.Context {
+	if ctx, ok := cl.sessions[key]; ok {
+		return ctx
+	}
+	return cl.cluster.mech.EmptyContext()
+}
+
+func (cl *Client) adopt(key string, ctx core.Context) error {
+	joined, err := cl.cluster.mech.JoinContexts(cl.session(key), ctx)
+	if err != nil {
+		return err
+	}
+	cl.sessions[key] = joined
+	return nil
+}
+
+// Get reads key: it returns the concurrent sibling values and folds the
+// causal context into the client's session.
+func (cl *Client) Get(ctx context.Context, key string) ([][]byte, error) {
+	to, err := cl.target(key)
+	if err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, cl.cluster.timeout)
+	defer cancel()
+	resp, err := cl.cluster.Transport.Send(cctx, cl.ID, to, transport.Request{
+		Method: node.MethodGet, Body: node.EncodeGetRequest(key),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: get %q: %w", key, err)
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return nil, fmt.Errorf("cluster: get %q: %w", key, aerr)
+	}
+	rr, err := node.DecodeReadResult(cl.cluster.mech, resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: get %q: %w", key, err)
+	}
+	if err := cl.adopt(key, rr.Ctx); err != nil {
+		return nil, err
+	}
+	return rr.Values, nil
+}
+
+// Put writes value under key using the session's causal context (write
+// without re-reading; races surface as siblings on later reads).
+func (cl *Client) Put(ctx context.Context, key string, value []byte) error {
+	to, err := cl.target(key)
+	if err != nil {
+		return err
+	}
+	cctx, cancel := context.WithTimeout(ctx, cl.cluster.timeout)
+	defer cancel()
+	resp, err := cl.cluster.Transport.Send(cctx, cl.ID, to, transport.Request{
+		Method: node.MethodPut,
+		Body:   node.EncodePutRequest(cl.cluster.mech, key, cl.session(key), value, cl.ID),
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: put %q: %w", key, err)
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return fmt.Errorf("cluster: put %q: %w", key, aerr)
+	}
+	rr, err := node.DecodeReadResult(cl.cluster.mech, resp.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: put %q: %w", key, err)
+	}
+	return cl.adopt(key, rr.Ctx)
+}
+
+// Update is the read-modify-write convenience: Get, apply f to the sibling
+// values, Put the result with the fresh context.
+func (cl *Client) Update(ctx context.Context, key string, f func(siblings [][]byte) []byte) error {
+	siblings, err := cl.Get(ctx, key)
+	if err != nil {
+		return err
+	}
+	return cl.Put(ctx, key, f(siblings))
+}
+
+// ForgetSession drops the client's causal context for key (simulating a
+// fresh client that presents no context — the racing blind writer).
+func (cl *Client) ForgetSession(key string) {
+	delete(cl.sessions, key)
+}

@@ -1,0 +1,351 @@
+// Package codec implements the deterministic binary wire format for every
+// clock and message in the repository. The experiments (C2, C3 in
+// DESIGN.md) report *exact encoded metadata bytes*, so the codec is the
+// measurement instrument: sizes must be deterministic — maps are encoded in
+// sorted key order — and self-describing enough to round-trip.
+//
+// Format primitives (all little-endian where applicable):
+//
+//	uvarint  — unsigned LEB128, as encoding/binary
+//	string   — uvarint length + raw bytes
+//	bytes    — uvarint length + raw bytes
+//
+// Composite layouts are documented on each Encode function.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/dot"
+	"repro/internal/dvv"
+	"repro/internal/vv"
+)
+
+// ErrTruncated reports an input that ended mid-value.
+var ErrTruncated = errors.New("codec: truncated input")
+
+// ErrCorrupt reports structurally invalid input.
+var ErrCorrupt = errors.New("codec: corrupt input")
+
+// maxLen caps length prefixes to keep a corrupt or hostile stream from
+// forcing huge allocations before the decoder notices.
+const maxLen = 1 << 26 // 64 MiB
+
+// Writer accumulates an encoded message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity preallocated.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes (the writer's own storage).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset clears the writer for reuse, retaining capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes appends length-prefixed raw bytes.
+func (w *Writer) BytesField(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Byte appends a single raw byte (tags, booleans).
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Byte(1)
+		return
+	}
+	w.Byte(0)
+}
+
+// Reader decodes a message produced by Writer. It records the first error
+// and makes all subsequent reads no-ops, so call sites can decode a whole
+// structure and check Err once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps b (not copied).
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// fail records err (once) and returns the zero value convenience.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrTruncated)
+		} else {
+			r.fail(fmt.Errorf("%w: uvarint overflow", ErrCorrupt))
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// take returns the next n bytes without copying.
+func (r *Reader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		r.fail(fmt.Errorf("%w: length %d exceeds limit", ErrCorrupt, n))
+		return nil
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	return string(r.take(r.Uvarint()))
+}
+
+// BytesField reads length-prefixed bytes (copied, safe to retain).
+func (r *Reader) BytesField() []byte {
+	b := r.take(r.Uvarint())
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte boolean.
+func (r *Reader) Bool() bool {
+	switch r.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(fmt.Errorf("%w: invalid bool", ErrCorrupt))
+		return false
+	}
+}
+
+// Expect consumes the rest of the buffer, failing if bytes remain.
+func (r *Reader) ExpectEOF() {
+	if r.err == nil && r.Remaining() != 0 {
+		r.fail(fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Remaining()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Clock encodings.
+// ---------------------------------------------------------------------------
+
+// EncodeVV appends v as: uvarint count, then per entry (string id, uvarint
+// counter) in sorted id order.
+func EncodeVV(w *Writer, v vv.VV) {
+	ids := v.IDs()
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.String(string(id))
+		w.Uvarint(v.Get(id))
+	}
+}
+
+// DecodeVV reads a vector encoded by EncodeVV.
+func DecodeVV(r *Reader) vv.VV {
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil
+	}
+	// Every entry needs at least two bytes, so a count beyond the unread
+	// input is corrupt; this also bounds the allocation below.
+	if n > uint64(r.Remaining()) {
+		r.fail(fmt.Errorf("%w: VV count %d exceeds input", ErrCorrupt, n))
+		return nil
+	}
+	v := make(vv.VV, n)
+	for i := uint64(0); i < n; i++ {
+		id := dot.ID(r.String())
+		c := r.Uvarint()
+		if r.Err() != nil {
+			return nil
+		}
+		if id == "" || c == 0 {
+			r.fail(fmt.Errorf("%w: empty id or zero counter in VV", ErrCorrupt))
+			return nil
+		}
+		v[id] = c
+	}
+	return v
+}
+
+// VVSize returns the exact encoded size of v in bytes.
+func VVSize(v vv.VV) int {
+	w := NewWriter(16 + 12*v.Len())
+	EncodeVV(w, v)
+	return w.Len()
+}
+
+// EncodeDot appends d as (string node, uvarint counter).
+func EncodeDot(w *Writer, d dot.Dot) {
+	w.String(string(d.Node))
+	w.Uvarint(d.Counter)
+}
+
+// DecodeDot reads a dot.
+func DecodeDot(r *Reader) dot.Dot {
+	return dot.Dot{Node: dot.ID(r.String()), Counter: r.Uvarint()}
+}
+
+// EncodeClock appends a DVV clock as dot + VV.
+func EncodeClock(w *Writer, c dvv.Clock) {
+	EncodeDot(w, c.D)
+	EncodeVV(w, c.V)
+}
+
+// DecodeClock reads a DVV clock.
+func DecodeClock(r *Reader) dvv.Clock {
+	d := DecodeDot(r)
+	v := DecodeVV(r)
+	return dvv.New(d, v)
+}
+
+// ClockSize returns the exact encoded size of c in bytes — the paper's
+// "metadata size" for one version under DVV.
+func ClockSize(c dvv.Clock) int {
+	w := NewWriter(24 + 12*c.V.Len())
+	EncodeClock(w, c)
+	return w.Len()
+}
+
+// EncodeClockSet appends a sibling set: uvarint count + clocks.
+func EncodeClockSet(w *Writer, s []dvv.Clock) {
+	w.Uvarint(uint64(len(s)))
+	for _, c := range s {
+		EncodeClock(w, c)
+	}
+}
+
+// DecodeClockSet reads a sibling set.
+func DecodeClockSet(r *Reader) []dvv.Clock {
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(fmt.Errorf("%w: clock count %d exceeds input", ErrCorrupt, n))
+		return nil
+	}
+	out := make([]dvv.Clock, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, DecodeClock(r))
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// ClockSetSize returns the exact encoded metadata bytes of a sibling set.
+func ClockSetSize(s []dvv.Clock) int {
+	w := NewWriter(64)
+	EncodeClockSet(w, s)
+	return w.Len()
+}
+
+// ---------------------------------------------------------------------------
+// io helpers: length-framed messages over a stream (TCP transport).
+// ---------------------------------------------------------------------------
+
+// WriteFrame writes a 4-byte big-endian length prefix followed by payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxLen {
+		return fmt.Errorf("codec: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("codec: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("codec: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-framed message. A clean end of stream at a
+// frame boundary returns io.EOF unwrapped; any mid-frame truncation is
+// reported as io.ErrUnexpectedEOF so callers can tell the two apart.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean boundary
+		}
+		return nil, fmt.Errorf("codec: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("codec: read frame payload: %w", err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"repro/internal/codec"
+	"repro/internal/dvv"
+	"repro/internal/vv"
+)
+
+// DVVVersion is one sibling under the dotted-version-vector mechanism.
+type DVVVersion struct {
+	Value []byte
+	Clock dvv.Clock
+}
+
+// DVVState is the sibling set — the kernel's S.
+type DVVState []DVVVersion
+
+// dvvMech adapts the internal/dvv kernel to the Mechanism interface.
+type dvvMech struct{}
+
+// NewDVV returns the dotted-version-vector mechanism (the paper's
+// contribution): per-version clocks ((i,n), v) with one vector entry per
+// replica server, O(1) comparison via the dot.
+func NewDVV() Mechanism { return dvvMech{} }
+
+func (dvvMech) Name() string    { return "dvv" }
+func (dvvMech) NewState() State { return DVVState(nil) }
+
+func (dvvMech) CloneState(s State) State {
+	st := mustState[DVVState]("dvv", s)
+	out := make(DVVState, len(st))
+	for i, v := range st {
+		val := make([]byte, len(v.Value))
+		copy(val, v.Value)
+		out[i] = DVVVersion{Value: val, Clock: v.Clock.Clone()}
+	}
+	return out
+}
+
+func (dvvMech) EmptyContext() Context { return vv.New() }
+
+func (dvvMech) JoinContexts(a, b Context) (Context, error) {
+	va, err := ctxOrErr[vv.VV]("dvv", a)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := ctxOrErr[vv.VV]("dvv", b)
+	if err != nil {
+		return nil, err
+	}
+	return vv.Join(va, vb), nil
+}
+
+func (dvvMech) Read(s State) ReadResult {
+	st := mustState[DVVState]("dvv", s)
+	vals := make([][]byte, len(st))
+	clocks := make([]dvv.Clock, len(st))
+	for i, v := range st {
+		vals[i] = v.Value
+		clocks[i] = v.Clock
+	}
+	return ReadResult{Values: vals, Ctx: dvv.Context(clocks)}
+}
+
+func (dvvMech) Put(s State, c Context, value []byte, w WriteInfo) (State, error) {
+	st := mustState[DVVState]("dvv", s)
+	ctx, err := ctxOrErr[vv.VV]("dvv", c)
+	if err != nil {
+		return nil, err
+	}
+	clocks := make([]dvv.Clock, len(st))
+	for i, v := range st {
+		clocks[i] = v.Clock
+	}
+	nc := dvv.Update(clocks, ctx, w.Server)
+	out := make(DVVState, 0, len(st)+1)
+	out = append(out, DVVVersion{Value: value, Clock: nc})
+	for _, v := range st {
+		if !ctx.ContainsDot(v.Clock.D) {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func (dvvMech) Sync(a, b State) State {
+	sa := mustState[DVVState]("dvv", a)
+	sb := mustState[DVVState]("dvv", b)
+	// Merge via the clock kernel, then reattach values by dot (dots are
+	// globally unique, so the value for a surviving dot is on whichever
+	// side carried it).
+	ca := make([]dvv.Clock, len(sa))
+	byDot := make(map[string][]byte, len(sa)+len(sb))
+	for i, v := range sa {
+		ca[i] = v.Clock
+		byDot[v.Clock.D.String()] = v.Value
+	}
+	cb := make([]dvv.Clock, len(sb))
+	for i, v := range sb {
+		cb[i] = v.Clock
+		if _, ok := byDot[v.Clock.D.String()]; !ok {
+			byDot[v.Clock.D.String()] = v.Value
+		}
+	}
+	merged := dvv.Sync(ca, cb)
+	out := make(DVVState, len(merged))
+	for i, c := range merged {
+		out[i] = DVVVersion{Value: byDot[c.D.String()], Clock: c}
+	}
+	return out
+}
+
+func (dvvMech) EncodeState(w *codec.Writer, s State) {
+	st := mustState[DVVState]("dvv", s)
+	w.Uvarint(uint64(len(st)))
+	for _, v := range st {
+		codec.EncodeClock(w, v.Clock)
+		w.BytesField(v.Value)
+	}
+}
+
+func (dvvMech) DecodeState(r *codec.Reader) (State, error) {
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, codec.ErrCorrupt
+	}
+	out := make(DVVState, 0, n)
+	for i := uint64(0); i < n; i++ {
+		c := codec.DecodeClock(r)
+		val := r.BytesField()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		out = append(out, DVVVersion{Value: val, Clock: c})
+	}
+	return out, nil
+}
+
+func (dvvMech) EncodeContext(w *codec.Writer, c Context) {
+	codec.EncodeVV(w, c.(vv.VV))
+}
+
+func (dvvMech) DecodeContext(r *codec.Reader) (Context, error) {
+	v := codec.DecodeVV(r)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if v == nil {
+		v = vv.New()
+	}
+	return v, nil
+}
+
+func (dvvMech) MetadataBytes(s State) int {
+	st := mustState[DVVState]("dvv", s)
+	n := 0
+	for _, v := range st {
+		n += codec.ClockSize(v.Clock)
+	}
+	return n
+}
+
+func (dvvMech) ContextBytes(c Context) int {
+	return codec.VVSize(c.(vv.VV))
+}
+
+func (dvvMech) Siblings(s State) int {
+	return len(mustState[DVVState]("dvv", s))
+}

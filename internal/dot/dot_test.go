@@ -1,0 +1,131 @@
+package dot
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	d := New("A", 3)
+	if d.Node != "A" || d.Counter != 3 {
+		t.Fatalf("New(A,3) = %+v", d)
+	}
+	if d.IsZero() {
+		t.Fatal("non-zero dot reported IsZero")
+	}
+	var z Dot
+	if !z.IsZero() {
+		t.Fatal("zero dot not IsZero")
+	}
+}
+
+func TestNext(t *testing.T) {
+	d := New("srv1", 41)
+	n := d.Next()
+	if n.Node != "srv1" || n.Counter != 42 {
+		t.Fatalf("Next = %+v", n)
+	}
+	if d.Counter != 41 {
+		t.Fatal("Next mutated receiver")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Dot
+		want int
+	}{
+		{"equal", New("A", 1), New("A", 1), 0},
+		{"counter less", New("A", 1), New("A", 2), -1},
+		{"counter greater", New("A", 5), New("A", 2), 1},
+		{"node less", New("A", 9), New("B", 1), -1},
+		{"node greater", New("C", 1), New("B", 9), 1},
+		{"zero vs nonzero", Dot{}, New("A", 1), -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("%v.Compare(%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Compare(tt.a); got != -tt.want {
+				t.Errorf("%v.Compare(%v) = %d, want %d", tt.b, tt.a, got, -tt.want)
+			}
+		})
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	tests := []struct {
+		d    Dot
+		want string
+	}{
+		{New("A", 3), "(A,3)"},
+		{New("server-1", 0), "(server-1,0)"},
+		{New("x,y", 7), "(x,y,7)"}, // commas in ids round-trip via LastIndexByte
+	}
+	for _, tt := range tests {
+		got := tt.d.String()
+		if got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.d, got, tt.want)
+		}
+		back, err := Parse(got)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", got, err)
+		}
+		if back != tt.d {
+			t.Errorf("round trip %q -> %+v, want %+v", got, back, tt.d)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "(", "()", "(A)", "(,3)", "(A,x)", "A,3", "(A,3", "A,3)"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(node string, counter uint64) bool {
+		if node == "" {
+			return true // invalid id, Parse rejects; not a round-trip case
+		}
+		d := New(ID(node), counter)
+		back, err := Parse(d.String())
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSort(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	nodes := []ID{"A", "B", "C", "D"}
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(20)
+		dots := make([]Dot, n)
+		for i := range dots {
+			dots[i] = New(nodes[r.Intn(len(nodes))], uint64(r.Intn(10)))
+		}
+		Sort(dots)
+		if !sort.SliceIsSorted(dots, func(i, j int) bool { return dots[i].Compare(dots[j]) < 0 }) {
+			t.Fatalf("trial %d: not sorted: %v", trial, dots)
+		}
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	dots := []Dot{New("B", 2), New("A", 1), New("B", 1), New("A", 2), New("A", 1)}
+	Sort(dots)
+	want := []Dot{New("A", 1), New("A", 1), New("A", 2), New("B", 1), New("B", 2)}
+	for i := range want {
+		if dots[i] != want[i] {
+			t.Fatalf("Sort = %v, want %v", dots, want)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package dvv implements dotted version vectors (Preguiça, Baquero,
+// Almeida, Fonte, Gonçalves — PODC 2012), the paper's primary contribution.
+//
+// A dotted version vector is a pair ((i,n), v): a dot (i,n) naming the
+// globally unique event of this version, and a plain version vector v
+// encoding its causal past. The represented causal history is
+//
+//	C[[((i,n), v)]] = {i_n} ∪ { j_m | 1 ≤ m ≤ v[j] }
+//
+// Keeping the version identifier *separate* from the causal past gives two
+// properties plain version vectors cannot offer simultaneously:
+//
+//   - O(1) causality verification: a < b iff n_a ≤ v_b[i_a] — one lookup.
+//   - Precise tracking of versions written concurrently by many clients
+//     with one vector entry per *replica server*: the dot may sit beyond
+//     v[i]+1 ("detached"), encoding a gapped history exactly.
+//
+// The package also implements the server-side kernel from the companion
+// report (CoRR abs/1011.5808): Update (tag a client PUT), Sync (merge two
+// replicas' version sets), Context (causal context of a sibling set) and
+// Discard (drop versions covered by a client context).
+package dvv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/causal"
+	"repro/internal/dot"
+	"repro/internal/vv"
+)
+
+// Clock is a dotted version vector: the identifying event D plus the causal
+// past V. The zero value has a zero dot and nil vector and represents "no
+// version"; valid clocks produced by Update always carry a non-zero dot.
+type Clock struct {
+	D dot.Dot
+	V vv.VV
+}
+
+// New builds a clock from a dot and a causal past. The vector is used as
+// given (not copied); callers that retain v must pass v.Clone().
+func New(d dot.Dot, past vv.VV) Clock {
+	return Clock{D: d, V: past}
+}
+
+// Dot returns the clock's identifying event.
+func (c Clock) Dot() dot.Dot { return c.D }
+
+// Past returns the clock's causal past (the vector half). The returned map
+// is the clock's own storage; treat it as read-only.
+func (c Clock) Past() vv.VV { return c.V }
+
+// IsZero reports whether c identifies no version.
+func (c Clock) IsZero() bool { return c.D.IsZero() && len(c.V) == 0 }
+
+// Detached reports whether the dot is non-contiguous with the causal past
+// (n > v[i]+1). A detached dot is exactly the case plain version vectors
+// cannot represent without widening the history.
+func (c Clock) Detached() bool {
+	return c.D.Counter > c.V.Get(c.D.Node)+1
+}
+
+// History expands the clock into the explicit causal history it denotes —
+// the paper's C[[·]] semantics. Used by the oracle-equivalence tests; cost
+// is proportional to the history size.
+func (c Clock) History() causal.History {
+	h := causal.FromVV(c.V)
+	if !c.D.IsZero() {
+		h.Add(c.D)
+	}
+	return h
+}
+
+// Before reports a < b in O(1): the event of a is in the causal past of b.
+// Following the paper: a < b iff n_a ≤ v_b[i_a], with the tie on identical
+// dots excluded (an event does not precede itself).
+func (a Clock) Before(b Clock) bool {
+	if a.D == b.D {
+		return false
+	}
+	return b.V.ContainsDot(a.D)
+}
+
+// Concurrent reports a ∥ b in O(1): neither event is in the other's past
+// and they are not the same event.
+func (a Clock) Concurrent(b Clock) bool {
+	return a.D != b.D && !a.Before(b) && !b.Before(a)
+}
+
+// Compare classifies the relation between two version clocks. Identical
+// dots mean the *same* version (events are globally unique), regardless of
+// the vectors, which may differ transiently during replication.
+func (a Clock) Compare(b Clock) vv.Ordering {
+	switch {
+	case a.D == b.D:
+		return vv.Equal
+	case a.Before(b):
+		return vv.Before
+	case b.Before(a):
+		return vv.After
+	default:
+		return vv.ConcurrentOrder
+	}
+}
+
+// Join folds the clock into a single version vector covering its whole
+// history: max(v, dot). The result widens gapped histories (see
+// Clock.Detached) and is what a client receives as its causal context.
+func (c Clock) Join() vv.VV {
+	v := c.V.Clone()
+	v.MergeDot(c.D)
+	return v
+}
+
+// Clone returns a deep copy of the clock.
+func (c Clock) Clone() Clock {
+	return Clock{D: c.D, V: c.V.Clone()}
+}
+
+// Equal reports structural equality (same dot, same vector).
+func (c Clock) Equal(o Clock) bool {
+	return c.D == o.D && c.V.Equal(o.V)
+}
+
+// String renders the paper's notation, e.g. "(A,3)[1,0]" is printed as
+// "(A,3){A:1}" — dots keep their tuple form and the past uses the sorted
+// map notation of vv.VV.
+func (c Clock) String() string {
+	return fmt.Sprintf("%s%s", c.D, c.V)
+}
+
+// ---------------------------------------------------------------------------
+// Server-side kernel over sibling sets.
+// ---------------------------------------------------------------------------
+
+// MaxDot returns the highest counter node id has issued that is visible in
+// the sibling set s: max over dots of id and vector entries for id. The
+// next event coordinated by id must use MaxDot(s, id)+1 to be unique.
+func MaxDot(s []Clock, id dot.ID) uint64 {
+	var m uint64
+	for _, c := range s {
+		if c.D.Node == id && c.D.Counter > m {
+			m = c.D.Counter
+		}
+		if n := c.V.Get(id); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// Context returns the causal context of sibling set s: the join of every
+// clock's past and dot. A client that read s and later writes back presents
+// this vector as evidence of what it saw.
+func Context(s []Clock) vv.VV {
+	ctx := vv.New()
+	for _, c := range s {
+		ctx.Merge(c.V)
+		ctx.MergeDot(c.D)
+	}
+	return ctx
+}
+
+// Update tags a client PUT at coordinating server r. ctx is the causal
+// context the client obtained from its preceding GET (empty for a blind
+// write). The new clock is ((r, MaxDot(s,r)+1), ctx): its dot is fresh and
+// possibly detached from ctx, so the represented history is exactly
+// {r_n} ∪ C[[ctx]] — no false dominance over concurrent siblings.
+//
+// The context vector is cloned; callers may reuse ctx afterwards.
+func Update(s []Clock, ctx vv.VV, r dot.ID) Clock {
+	n := MaxDot(s, r) + 1
+	return Clock{D: dot.New(r, n), V: ctx.Clone()}
+}
+
+// Discard returns the siblings of s not covered by ctx — versions whose
+// identifying event is not in the client's read context survive as
+// concurrent siblings; the rest were causally overwritten. The returned
+// slice shares clock values (not slice storage) with s.
+func Discard(s []Clock, ctx vv.VV) []Clock {
+	out := make([]Clock, 0, len(s))
+	for _, c := range s {
+		if !ctx.ContainsDot(c.D) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Put is the complete coordinator-side write: discard what the client saw,
+// tag the new version, and return the new sibling set with the new version
+// first, followed by surviving concurrent siblings.
+func Put(s []Clock, ctx vv.VV, r dot.ID) (Clock, []Clock) {
+	nc := Update(s, ctx, r)
+	rest := Discard(s, ctx)
+	out := make([]Clock, 0, len(rest)+1)
+	out = append(out, nc)
+	out = append(out, rest...)
+	return nc, out
+}
+
+// Sync merges the sibling sets of two replicas: every version dominated by
+// a version on the other side is discarded, duplicates (same dot) keep one
+// copy, and survivors are returned sorted by dot for determinism. Sync is
+// commutative, associative and idempotent (a join-semilattice on sets of
+// versions), which is what makes anti-entropy safe to run in any order.
+func Sync(s1, s2 []Clock) []Clock {
+	// Dots are globally unique, so two copies of the same dot are the same
+	// version; joining their pasts is a no-op on honest traces and keeps
+	// Sync commutative even on adversarial input.
+	merged := make(map[dot.Dot]Clock, len(s1)+len(s2))
+	add := func(c Clock) {
+		if e, ok := merged[c.D]; ok {
+			merged[c.D] = Clock{D: c.D, V: vv.Join(e.V, c.V)}
+			return
+		}
+		merged[c.D] = c
+	}
+	for _, c := range s1 {
+		add(c)
+	}
+	for _, c := range s2 {
+		add(c)
+	}
+	out := make([]Clock, 0, len(merged))
+	for _, c := range merged {
+		dominated := false
+		for _, o := range merged {
+			if c.D != o.D && c.Before(o) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	SortClocks(out)
+	return out
+}
+
+// SortClocks orders clocks deterministically by dot (node id, then
+// counter). This is a display/encoding order, not a causal order.
+func SortClocks(s []Clock) {
+	sort.Slice(s, func(i, j int) bool { return s[i].D.Compare(s[j].D) < 0 })
+}
+
+// Size returns the abstract metadata size of the clock: number of vector
+// entries plus one for the dot. The codec package reports exact encoded
+// bytes; this count is the unit the paper's complexity claims are stated in.
+func (c Clock) Size() int {
+	n := c.V.Len()
+	if !c.D.IsZero() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package dvv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/causal"
+	"repro/internal/dot"
+	"repro/internal/vv"
+)
+
+// genCtx builds a small random context vector from quick-generated data.
+func genCtx(entries map[uint8]uint8) vv.VV {
+	ids := []dot.ID{"A", "B", "C"}
+	ctx := vv.New()
+	for k, n := range entries {
+		if n > 0 {
+			ctx.Set(ids[int(k)%len(ids)], uint64(n%8))
+		}
+	}
+	return ctx
+}
+
+// Invariant 1 (DESIGN.md §4): C[[Update(S,ctx,r)]] = {r_n} ∪ C[[ctx]] — the
+// new clock's history is exactly the context plus its own fresh event,
+// regardless of the sibling set.
+func TestUpdateHistoryExactQuick(t *testing.T) {
+	f := func(entries map[uint8]uint8, serverSel uint8) bool {
+		ctx := genCtx(entries)
+		r := []dot.ID{"A", "B", "C"}[int(serverSel)%3]
+		// Sibling set derived from the context plus an unrelated racing
+		// version, as the kernel would hold.
+		var s []Clock
+		_, s = Put(s, ctx, r)
+		_, s = Put(s, vv.New(), r)
+		nc := Update(s, ctx, r)
+		want := causal.FromVV(ctx).Event(nc.D)
+		return nc.History().Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant 4: Discard(S, Context(S)) = ∅ and Discard(S, ⊥) = S, for
+// sibling sets reachable through the kernel.
+func TestDiscardLawsQuick(t *testing.T) {
+	f := func(ops []bool, staleEvery uint8) bool {
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		var s []Clock
+		servers := []dot.ID{"A", "B"}
+		stale := vv.New()
+		for i, fresh := range ops {
+			ctx := stale
+			if fresh {
+				ctx = Context(s)
+			}
+			_, s = Put(s, ctx, servers[i%2])
+		}
+		if got := Discard(s, Context(s)); len(got) != 0 {
+			return false
+		}
+		got := Discard(s, vv.New())
+		if len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if !got[i].Equal(s[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The kernel never mints duplicate dots within one replica's lifetime:
+// every Put yields a fresh event id.
+func TestPutDotUniquenessQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		var s []Clock
+		seen := map[dot.Dot]bool{}
+		servers := []dot.ID{"A", "B", "C"}
+		var contexts []vv.VV
+		contexts = append(contexts, vv.New())
+		for i := 0; i < 50; i++ {
+			ctx := contexts[r.Intn(len(contexts))]
+			var nc Clock
+			nc, s = Put(s, ctx, servers[r.Intn(len(servers))])
+			if seen[nc.D] {
+				t.Fatalf("trial %d: duplicate dot %v", trial, nc.D)
+			}
+			seen[nc.D] = true
+			contexts = append(contexts, Context(s))
+		}
+	}
+}
+
+// Sync never resurrects a discarded version and never drops a member of
+// the concurrent frontier: the merged set equals the maximal antichain of
+// the union (checked against explicit histories).
+func TestSyncFrontierQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 150; trial++ {
+		// One universe, two replicas with interleaved puts and syncs.
+		var a, b []Clock
+		servers := []dot.ID{"A", "B"}
+		for i := 0; i < 12; i++ {
+			switch r.Intn(4) {
+			case 0:
+				_, a = Put(a, Context(a), servers[0])
+			case 1:
+				_, b = Put(b, Context(b), servers[1])
+			case 2:
+				_, a = Put(a, vv.New(), servers[0])
+			default:
+				a = Sync(a, b)
+			}
+		}
+		merged := Sync(a, b)
+		// Frontier check via histories: a clock is in the merged set iff
+		// no other clock in the union strictly dominates it.
+		union := append(append([]Clock{}, a...), b...)
+		for _, c := range union {
+			dominated := false
+			for _, o := range union {
+				if o.D != c.D && c.History().Compare(o.History()) == vv.Before {
+					dominated = true
+					break
+				}
+			}
+			found := false
+			for _, m := range merged {
+				if m.D == c.D {
+					found = true
+					break
+				}
+			}
+			if dominated && found {
+				t.Fatalf("trial %d: dominated version %v survived sync", trial, c)
+			}
+			if !dominated && !found {
+				t.Fatalf("trial %d: frontier version %v dropped by sync", trial, c)
+			}
+		}
+	}
+}
+
+// Detached dots are exactly the versions a plain VV could not represent:
+// folding the clock to a VV (Join) widens its history iff Detached.
+func TestDetachedMeansWideningQuick(t *testing.T) {
+	f := func(entries map[uint8]uint8, serverSel uint8, extra uint8) bool {
+		ctx := genCtx(entries)
+		r := []dot.ID{"A", "B", "C"}[int(serverSel)%3]
+		var s []Clock
+		// Force a gap sometimes by pre-advancing the server counter.
+		for i := uint8(0); i < extra%4; i++ {
+			_, s = Put(s, vv.New(), r)
+		}
+		nc := Update(s, ctx, r)
+		exact := nc.History()
+		widened := causal.FromVV(nc.Join())
+		if nc.Detached() {
+			return exact.Len() < widened.Len()
+		}
+		return exact.Equal(widened)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+package dvvset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dot"
+	"repro/internal/dvv"
+	"repro/internal/vv"
+)
+
+func TestEmptySet(t *testing.T) {
+	s := New[string]()
+	if !s.IsEmpty() || s.Len() != 0 || s.Size() != 0 {
+		t.Fatal("New not empty")
+	}
+	if got := s.String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+	if len(s.Values()) != 0 || !s.Join().IsEmpty() {
+		t.Fatal("empty set has values or context")
+	}
+}
+
+func TestUpdateBlindWritesAreSiblings(t *testing.T) {
+	s := New[string]()
+	d1 := s.Update(vv.New(), "v1", "A")
+	d2 := s.Update(vv.New(), "v2", "A")
+	if d1 != dot.New("A", 1) || d2 != dot.New("A", 2) {
+		t.Fatalf("dots: %v %v", d1, d2)
+	}
+	if got := s.Values(); !reflect.DeepEqual(got, []string{"v2", "v1"}) {
+		t.Fatalf("Values = %v", got)
+	}
+	if s.Size() != 1 {
+		t.Fatalf("Size = %d, want 1 entry for one server", s.Size())
+	}
+}
+
+func TestUpdateWithContextOverwrites(t *testing.T) {
+	s := New[string]()
+	s.Update(vv.New(), "v1", "A")
+	ctx := s.Join()
+	s.Update(ctx, "v2", "A")
+	if got := s.Values(); !reflect.DeepEqual(got, []string{"v2"}) {
+		t.Fatalf("Values = %v", got)
+	}
+}
+
+func TestPaperFigure1cWithDVVSet(t *testing.T) {
+	// Same script as Figure 1c, via the compact representation.
+	a := New[string]()
+	a.Update(vv.New(), "w1", "A") // (A,1)
+	ctx1 := a.Join()              // {A:1}
+	a.Update(ctx1, "w2", "A")     // (A,2) replaces w1
+	a.Update(ctx1, "w3", "A")     // (A,3) concurrent with w2
+	if got := a.Values(); !reflect.DeepEqual(got, []string{"w3", "w2"}) {
+		t.Fatalf("siblings = %v", got)
+	}
+	// Server B got w2 earlier (counter 2 knowledge, value w2 only).
+	b := New[string]()
+	b.Sync(&Set[string]{entries: []Entry[string]{{ID: "A", N: 2, Vals: []string{"w2"}}}})
+	b.Update(b.Join(), "w4", "B") // (B,1), past {A:2}
+	// Sync A and B: w2 must vanish (covered by w4's context), w3 and w4 stay.
+	a.Sync(b)
+	if got := a.Values(); !reflect.DeepEqual(got, []string{"w3", "w4"}) {
+		t.Fatalf("after sync = %v (set %v)", got, a)
+	}
+	// Final write at A with full context dominates everything.
+	a.Update(a.Join(), "w5", "A")
+	if got := a.Values(); !reflect.DeepEqual(got, []string{"w5"}) {
+		t.Fatalf("final = %v", got)
+	}
+	if a.Size() != 2 { // entries for A and B only
+		t.Fatalf("Size = %d", a.Size())
+	}
+}
+
+func TestDiscardAbsorbsFresherContext(t *testing.T) {
+	// Client read at a fresher replica (knowledge A:2), writes at a stale
+	// replica that only knows A:1. The stale replica must absorb the
+	// knowledge so a later sync does not resurrect the overwritten value.
+	fresh := New[string]()
+	fresh.Update(vv.New(), "v1", "A")
+	fresh.Update(fresh.Join(), "v2", "A") // retains v2, knowledge A:2
+	ctx := fresh.Join()                   // {A:2}
+
+	stale := New[string]()
+	stale.Sync(&Set[string]{entries: []Entry[string]{{ID: "A", N: 1, Vals: []string{"v1"}}}})
+	stale.Update(ctx, "v3", "B")
+	// stale must now know A:2 even though it never stored v2.
+	if got := stale.Join().Get("A"); got != 2 {
+		t.Fatalf("knowledge not absorbed: ctx[A] = %d", got)
+	}
+	stale.Sync(fresh)
+	if got := stale.Values(); !reflect.DeepEqual(got, []string{"v3"}) {
+		t.Fatalf("resurrected overwritten sibling: %v", got)
+	}
+}
+
+func TestSyncLatticeLaws(t *testing.T) {
+	// Snapshots from a shared universe, as for dvv.Sync.
+	r := rand.New(rand.NewSource(17))
+	servers := []dot.ID{"A", "B", "C"}
+	stores := map[dot.ID]*Set[int]{"A": New[int](), "B": New[int](), "C": New[int]()}
+	var snaps []*Set[int]
+	val := 0
+	for step := 0; step < 300; step++ {
+		srv := servers[r.Intn(len(servers))]
+		s := stores[srv]
+		if r.Intn(3) == 0 {
+			s.Sync(stores[servers[r.Intn(len(servers))]])
+		} else {
+			var ctx vv.VV
+			if r.Intn(3) == 0 {
+				ctx = vv.New()
+			} else {
+				ctx = s.Join()
+			}
+			val++
+			s.Update(ctx, val, srv)
+		}
+		snaps = append(snaps, s.Clone())
+	}
+	eq := func(a, b *Set[int]) bool { return reflect.DeepEqual(a.Entries(), b.Entries()) }
+	pick := func() *Set[int] { return snaps[r.Intn(len(snaps))] }
+	for i := 0; i < 200; i++ {
+		a, b, c := pick(), pick(), pick()
+		ab := a.Clone()
+		ab.Sync(b)
+		ba := b.Clone()
+		ba.Sync(a)
+		if !eq(ab, ba) {
+			t.Fatalf("sync not commutative:\n a=%v\n b=%v\n ab=%v\n ba=%v", a, b, ab, ba)
+		}
+		abc1 := ab.Clone()
+		abc1.Sync(c)
+		bc := b.Clone()
+		bc.Sync(c)
+		abc2 := a.Clone()
+		abc2.Sync(bc)
+		if !eq(abc1, abc2) {
+			t.Fatal("sync not associative")
+		}
+		aa := a.Clone()
+		aa.Sync(a)
+		if !eq(aa, a) {
+			t.Fatal("sync not idempotent")
+		}
+	}
+}
+
+func TestAgreementWithPerVersionDVV(t *testing.T) {
+	// A1's correctness core: on any honest trace, the sibling *dots*
+	// retained by the compact set equal those retained by per-version DVV
+	// kernels.
+	r := rand.New(rand.NewSource(29))
+	servers := []dot.ID{"A", "B"}
+	type replica struct {
+		set *Set[int]
+		dv  []dvv.Clock
+	}
+	reps := map[dot.ID]*replica{
+		"A": {set: New[int]()},
+		"B": {set: New[int]()},
+	}
+	val := 0
+	for step := 0; step < 400; step++ {
+		srv := servers[r.Intn(len(servers))]
+		rep := reps[srv]
+		switch r.Intn(3) {
+		case 0: // sync
+			peer := reps[servers[r.Intn(len(servers))]]
+			rep.set.Sync(peer.set)
+			rep.dv = dvv.Sync(rep.dv, peer.dv)
+		default: // put with the replica's own context (or blind)
+			var ctx vv.VV
+			if r.Intn(4) == 0 {
+				ctx = vv.New()
+			} else {
+				ctx = rep.set.Join()
+				// sanity: the two representations agree on context
+				if !ctx.Equal(dvv.Context(rep.dv)) {
+					t.Fatalf("context divergence: set=%v dvv=%v", ctx, dvv.Context(rep.dv))
+				}
+			}
+			val++
+			rep.set.Update(ctx, val, srv)
+			_, rep.dv = dvv.Put(rep.dv, ctx, srv)
+		}
+		// After every step the retained dots must match.
+		got := rep.set.Dots()
+		want := make([]dot.Dot, 0, len(rep.dv))
+		for _, c := range rep.dv {
+			want = append(want, c.D)
+		}
+		dot.Sort(got)
+		dot.Sort(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d at %s: set dots %v, dvv dots %v", step, srv, got, want)
+		}
+	}
+}
+
+func TestEntriesDeepCopy(t *testing.T) {
+	s := New[string]()
+	s.Update(vv.New(), "v1", "A")
+	es := s.Entries()
+	es[0].Vals[0] = "mutated"
+	if s.Values()[0] != "v1" {
+		t.Fatal("Entries aliased internal storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New[string]()
+	s.Update(vv.New(), "v1", "A")
+	c := s.Clone()
+	c.Update(c.Join(), "v2", "A")
+	if s.Len() != 1 || s.Values()[0] != "v1" {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	s := New[string]()
+	s.Update(vv.New(), "v1", "A")
+	s.Update(vv.New(), "v2", "A")
+	if got := s.String(); got != "{A:2[v2,v1]}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSizeBoundedByServers(t *testing.T) {
+	s := New[int]()
+	r := rand.New(rand.NewSource(41))
+	servers := []dot.ID{"S1", "S2", "S3"}
+	for i := 0; i < 300; i++ {
+		var ctx vv.VV
+		if r.Intn(2) == 0 {
+			ctx = s.Join()
+		} else {
+			ctx = vv.New()
+		}
+		s.Update(ctx, i, servers[r.Intn(len(servers))])
+	}
+	if s.Size() > len(servers) {
+		t.Fatalf("Size = %d > %d servers", s.Size(), len(servers))
+	}
+}

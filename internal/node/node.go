@@ -1,0 +1,968 @@
+// Package node implements the replica server: the Dynamo/Riak-style
+// process that coordinates client gets and puts over a preference list of
+// N replicas with R/W quorums, replicates states, repairs stale replicas
+// on read, and runs background anti-entropy. The causality mechanism is
+// pluggable (internal/core), which is how the experiments compare DVV
+// against the baselines on identical request paths.
+package node
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/antientropy"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/ring"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// RPC method names served by a node.
+const (
+	MethodGet      = "get"       // client read
+	MethodPut      = "put"       // client write
+	MethodReplGet  = "repl.get"  // replica state fetch
+	MethodReplPut  = "repl.put"  // replica state push
+	MethodAEDiff   = "ae.diff"   // anti-entropy flat key/hash exchange
+	MethodAEDigest = "ae.digest" // anti-entropy Merkle leaf exchange
+	MethodStats    = "stats"     // operational counters
+)
+
+// aeDigestThreshold is the key count beyond which anti-entropy switches
+// from the flat (key, hash) exchange to the Merkle digest exchange, whose
+// first-round traffic is O(buckets) instead of O(keys).
+const aeDigestThreshold = 64
+
+// aeBuckets is the Merkle leaf count for digest-based anti-entropy.
+const aeBuckets = 256
+
+// Config parameterises a node.
+type Config struct {
+	ID        dot.ID
+	Mech      core.Mechanism
+	Transport transport.Transport
+	Ring      *ring.Ring
+
+	// N is the replication degree; R and W the read and write quorums
+	// (counting the coordinator's local operation).
+	N, R, W int
+
+	// Timeout bounds each remote exchange a coordinator performs.
+	Timeout time.Duration
+
+	// ReadRepair pushes the merged state back to divergent replicas after
+	// a read.
+	ReadRepair bool
+
+	// AntiEntropyInterval enables the background sync loop when > 0.
+	AntiEntropyInterval time.Duration
+
+	// HintedHandoff stores a hint when a replica cannot be reached during
+	// a put and redelivers it when the replica comes back (checked on the
+	// anti-entropy tick, or via DeliverHints).
+	HintedHandoff bool
+
+	// Seed makes peer selection reproducible.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.ID == "" {
+		return errors.New("node: empty id")
+	}
+	if c.Mech == nil || c.Transport == nil || c.Ring == nil {
+		return errors.New("node: mechanism, transport and ring are required")
+	}
+	if c.N < 1 {
+		c.N = 1
+	}
+	if c.R < 1 {
+		c.R = 1
+	}
+	if c.W < 1 {
+		c.W = 1
+	}
+	if c.R > c.N || c.W > c.N {
+		return fmt.Errorf("node: quorums R=%d W=%d exceed N=%d", c.R, c.W, c.N)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	return nil
+}
+
+// Stats are a node's operational counters.
+type Stats struct {
+	ClientGets, ClientPuts      uint64
+	ReplGets, ReplPuts          uint64
+	ReadRepairs, AERounds       uint64
+	QuorumFailures, Forwards    uint64
+	HintsStored, HintsDelivered uint64
+}
+
+// Node is one replica server.
+type Node struct {
+	cfg   Config
+	store *storage.Store
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+	// hints holds undelivered replica states per unreachable peer and
+	// key; multiple hints for the same (peer, key) merge via Sync.
+	hints map[dot.ID]map[string]core.State
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	stop sync.Once
+}
+
+// New creates a node, registers its RPC handler on the transport, and
+// starts the anti-entropy loop if configured. Callers own the ring
+// membership (add the node id before serving traffic).
+func New(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:   cfg,
+		store: storage.New(cfg.Mech),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		hints: make(map[dot.ID]map[string]core.State),
+		done:  make(chan struct{}),
+	}
+	cfg.Transport.Register(cfg.ID, n.Handle)
+	if cfg.AntiEntropyInterval > 0 {
+		n.wg.Add(1)
+		go n.antiEntropyLoop()
+	}
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() dot.ID { return n.cfg.ID }
+
+// Store exposes the local store (read-mostly; used by experiments to
+// account metadata).
+func (n *Node) Store() *storage.Store { return n.store }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func (n *Node) bump(f func(*Stats)) {
+	n.mu.Lock()
+	f(&n.stats)
+	n.mu.Unlock()
+}
+
+// Close stops background work and waits for it.
+func (n *Node) Close() error {
+	n.stop.Do(func() { close(n.done) })
+	n.wg.Wait()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// RPC dispatch.
+// ---------------------------------------------------------------------------
+
+// Handle is the node's transport handler.
+func (n *Node) Handle(ctx context.Context, from dot.ID, req transport.Request) transport.Response {
+	switch req.Method {
+	case MethodGet:
+		return n.handleGet(ctx, req.Body)
+	case MethodPut:
+		return n.handlePut(ctx, from, req.Body)
+	case MethodReplGet:
+		return n.handleReplGet(req.Body)
+	case MethodReplPut:
+		return n.handleReplPut(req.Body)
+	case MethodAEDiff:
+		return n.handleAEDiff(req.Body)
+	case MethodAEDigest:
+		return n.handleAEDigest(req.Body)
+	case MethodStats:
+		return n.handleStats()
+	default:
+		return transport.Response{Err: fmt.Sprintf("unknown method %q", req.Method)}
+	}
+}
+
+func fail(err error) transport.Response {
+	return transport.Response{Err: err.Error()}
+}
+
+// ---------------------------------------------------------------------------
+// Client GET path.
+// ---------------------------------------------------------------------------
+
+// EncodeGetRequest builds a MethodGet body.
+func EncodeGetRequest(key string) []byte {
+	w := codec.NewWriter(16 + len(key))
+	w.String(key)
+	return w.Bytes()
+}
+
+// EncodeReadResult encodes sibling values plus mechanism context — the
+// body of get and put responses.
+func EncodeReadResult(m core.Mechanism, rr core.ReadResult) []byte {
+	w := codec.NewWriter(64)
+	w.Uvarint(uint64(len(rr.Values)))
+	for _, v := range rr.Values {
+		w.BytesField(v)
+	}
+	m.EncodeContext(w, rr.Ctx)
+	return w.Bytes()
+}
+
+// DecodeReadResult parses a body built by EncodeReadResult.
+func DecodeReadResult(m core.Mechanism, body []byte) (core.ReadResult, error) {
+	r := codec.NewReader(body)
+	nv := r.Uvarint()
+	if r.Err() != nil {
+		return core.ReadResult{}, r.Err()
+	}
+	if nv > uint64(r.Remaining()) {
+		return core.ReadResult{}, codec.ErrCorrupt
+	}
+	vals := make([][]byte, 0, nv)
+	for i := uint64(0); i < nv; i++ {
+		vals = append(vals, r.BytesField())
+	}
+	ctx, err := m.DecodeContext(r)
+	if err != nil {
+		return core.ReadResult{}, err
+	}
+	r.ExpectEOF()
+	if r.Err() != nil {
+		return core.ReadResult{}, r.Err()
+	}
+	return core.ReadResult{Values: vals, Ctx: ctx}, nil
+}
+
+func (n *Node) handleGet(ctx context.Context, body []byte) transport.Response {
+	r := codec.NewReader(body)
+	key := r.String()
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
+	n.bump(func(s *Stats) { s.ClientGets++ })
+	rr, err := n.CoordinateGet(ctx, key)
+	if err != nil {
+		return fail(err)
+	}
+	return transport.Response{Body: EncodeReadResult(n.cfg.Mech, rr)}
+}
+
+// CoordinateGet performs the coordinator-side read: merge R replica states
+// (including the local one when the node owns the key), read-repair
+// divergent replicas, and return values plus causal context. If this node
+// is not in the key's preference list the request is forwarded.
+func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, error) {
+	pref := n.cfg.Ring.Preference(key, n.cfg.N)
+	if len(pref) == 0 {
+		return core.ReadResult{}, errors.New("node: empty ring")
+	}
+	if !containsID(pref, n.cfg.ID) {
+		return n.forwardGet(ctx, pref[0], key)
+	}
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
+	defer cancel()
+
+	merged, _ := n.store.Snapshot(key)
+	if merged == nil {
+		merged = n.cfg.Mech.NewState()
+	}
+	acks := 1 // local read
+	type reply struct {
+		peer  dot.ID
+		state core.State
+		found bool
+		err   error
+	}
+	peers := withoutID(pref, n.cfg.ID)
+	ch := make(chan reply, len(peers))
+	for _, p := range peers {
+		p := p
+		go func() {
+			st, found, err := n.replGet(cctx, p, key)
+			ch <- reply{peer: p, state: st, found: found, err: err}
+		}()
+	}
+	divergent := make([]dot.ID, 0, len(peers))
+	localHash := n.store.KeyHash(key)
+	for range peers {
+		rep := <-ch
+		if rep.err != nil {
+			continue
+		}
+		acks++
+		if rep.found {
+			merged = n.cfg.Mech.Sync(merged, rep.state)
+		}
+		// A peer is divergent if its state hash differs from ours; the
+		// precise check happens again at repair time via Sync.
+		if !rep.found || hashState(n.cfg.Mech, rep.state) != localHash {
+			divergent = append(divergent, rep.peer)
+		}
+	}
+	if acks < n.cfg.R {
+		n.bump(func(s *Stats) { s.QuorumFailures++ })
+		return core.ReadResult{}, fmt.Errorf("node: read quorum not reached: %d/%d", acks, n.cfg.R)
+	}
+	// Fold the merged view back into the local store so the coordinator
+	// serves monotone reads.
+	n.store.SyncKey(key, merged)
+	if n.cfg.ReadRepair && len(divergent) > 0 {
+		n.repairAsync(key, merged, divergent)
+	}
+	return n.cfg.Mech.Read(merged), nil
+}
+
+func hashState(m core.Mechanism, st core.State) uint64 {
+	w := codec.NewWriter(128)
+	m.EncodeState(w, st)
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, b := range w.Bytes() {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (n *Node) forwardGet(ctx context.Context, to dot.ID, key string) (core.ReadResult, error) {
+	n.bump(func(s *Stats) { s.Forwards++ })
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
+	defer cancel()
+	resp, err := n.cfg.Transport.Send(cctx, n.cfg.ID, to, transport.Request{
+		Method: MethodGet, Body: EncodeGetRequest(key),
+	})
+	if err != nil {
+		return core.ReadResult{}, fmt.Errorf("node: forward get to %s: %w", to, err)
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return core.ReadResult{}, aerr
+	}
+	return DecodeReadResult(n.cfg.Mech, resp.Body)
+}
+
+func (n *Node) repairAsync(key string, merged core.State, peers []dot.ID) {
+	states := n.cfg.Mech.CloneState(merged)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
+		defer cancel()
+		for _, p := range peers {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			if err := n.replPut(ctx, p, key, states); err == nil {
+				n.bump(func(s *Stats) { s.ReadRepairs++ })
+			}
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// Client PUT path.
+// ---------------------------------------------------------------------------
+
+// EncodePutRequest builds a MethodPut body.
+func EncodePutRequest(m core.Mechanism, key string, ctx core.Context, value []byte, client dot.ID) []byte {
+	w := codec.NewWriter(64 + len(value))
+	w.String(key)
+	w.String(string(client))
+	w.BytesField(value)
+	m.EncodeContext(w, ctx)
+	return w.Bytes()
+}
+
+func (n *Node) handlePut(ctx context.Context, from dot.ID, body []byte) transport.Response {
+	r := codec.NewReader(body)
+	key := r.String()
+	client := dot.ID(r.String())
+	value := r.BytesField()
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
+	wctx, err := n.cfg.Mech.DecodeContext(r)
+	if err != nil {
+		return fail(err)
+	}
+	if client == "" {
+		client = from
+	}
+	n.bump(func(s *Stats) { s.ClientPuts++ })
+	rr, err := n.CoordinatePut(ctx, key, wctx, value, client)
+	if err != nil {
+		return fail(err)
+	}
+	return transport.Response{Body: EncodeReadResult(n.cfg.Mech, rr)}
+}
+
+// CoordinatePut applies a client write locally, replicates the resulting
+// state to the other preference-list members, and waits for the write
+// quorum. It returns the post-write read result (Riak's return_body).
+func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context, value []byte, client dot.ID) (core.ReadResult, error) {
+	pref := n.cfg.Ring.Preference(key, n.cfg.N)
+	if len(pref) == 0 {
+		return core.ReadResult{}, errors.New("node: empty ring")
+	}
+	if !containsID(pref, n.cfg.ID) {
+		return n.forwardPut(ctx, pref[0], key, wctx, value, client)
+	}
+	rr, err := n.store.Put(key, wctx, value, core.WriteInfo{Server: n.cfg.ID, Client: client})
+	if err != nil {
+		return core.ReadResult{}, err
+	}
+	state, _ := n.store.Snapshot(key)
+	peers := withoutID(pref, n.cfg.ID)
+	ch := make(chan error, len(peers))
+	for _, p := range peers {
+		p := p
+		// Replication outlives the request: once the write quorum is met
+		// the remaining replicas still receive the state (bounded by the
+		// node timeout and tracked for shutdown) — the Dynamo-style
+		// "best effort to N, ack at W" discipline. Unreachable replicas
+		// get a hint for later redelivery when hinted handoff is on.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			rctx, rcancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
+			defer rcancel()
+			err := n.replPut(rctx, p, key, state)
+			if err != nil && n.cfg.HintedHandoff {
+				n.storeHint(p, key, state)
+			}
+			ch <- err
+		}()
+	}
+	acks := 1 // local write
+	for range peers {
+		if err := <-ch; err == nil {
+			acks++
+		}
+		if acks >= n.cfg.W {
+			break
+		}
+	}
+	if acks < n.cfg.W {
+		n.bump(func(s *Stats) { s.QuorumFailures++ })
+		return core.ReadResult{}, fmt.Errorf("node: write quorum not reached: %d/%d", acks, n.cfg.W)
+	}
+	return rr, nil
+}
+
+func (n *Node) forwardPut(ctx context.Context, to dot.ID, key string, wctx core.Context, value []byte, client dot.ID) (core.ReadResult, error) {
+	n.bump(func(s *Stats) { s.Forwards++ })
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
+	defer cancel()
+	resp, err := n.cfg.Transport.Send(cctx, n.cfg.ID, to, transport.Request{
+		Method: MethodPut,
+		Body:   EncodePutRequest(n.cfg.Mech, key, wctx, value, client),
+	})
+	if err != nil {
+		return core.ReadResult{}, fmt.Errorf("node: forward put to %s: %w", to, err)
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return core.ReadResult{}, aerr
+	}
+	return DecodeReadResult(n.cfg.Mech, resp.Body)
+}
+
+// ---------------------------------------------------------------------------
+// Replica-internal RPCs.
+// ---------------------------------------------------------------------------
+
+func (n *Node) replGet(ctx context.Context, peer dot.ID, key string) (core.State, bool, error) {
+	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
+		Method: MethodReplGet, Body: EncodeGetRequest(key),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return nil, false, aerr
+	}
+	r := codec.NewReader(resp.Body)
+	found := r.Bool()
+	if !found {
+		return nil, false, r.Err()
+	}
+	st, err := n.cfg.Mech.DecodeState(r)
+	if err != nil {
+		return nil, false, err
+	}
+	return st, true, nil
+}
+
+func (n *Node) handleReplGet(body []byte) transport.Response {
+	r := codec.NewReader(body)
+	key := r.String()
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
+	n.bump(func(s *Stats) { s.ReplGets++ })
+	w := codec.NewWriter(128)
+	st, ok := n.store.Snapshot(key)
+	w.Bool(ok)
+	if ok {
+		n.cfg.Mech.EncodeState(w, st)
+	}
+	return transport.Response{Body: w.Bytes()}
+}
+
+func (n *Node) replPut(ctx context.Context, peer dot.ID, key string, st core.State) error {
+	w := codec.NewWriter(128)
+	w.String(key)
+	n.cfg.Mech.EncodeState(w, st)
+	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
+		Method: MethodReplPut, Body: w.Bytes(),
+	})
+	if err != nil {
+		return err
+	}
+	return transport.AppError(resp)
+}
+
+func (n *Node) handleReplPut(body []byte) transport.Response {
+	r := codec.NewReader(body)
+	key := r.String()
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
+	st, err := n.cfg.Mech.DecodeState(r)
+	if err != nil {
+		return fail(err)
+	}
+	n.bump(func(s *Stats) { s.ReplPuts++ })
+	n.store.SyncKey(key, st)
+	return transport.Response{}
+}
+
+func (n *Node) handleStats() transport.Response {
+	st := n.Stats()
+	w := codec.NewWriter(64)
+	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered} {
+		w.Uvarint(v)
+	}
+	return transport.Response{Body: w.Bytes()}
+}
+
+// DecodeStats parses a MethodStats response body.
+func DecodeStats(body []byte) (Stats, error) {
+	r := codec.NewReader(body)
+	var st Stats
+	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered} {
+		*p = r.Uvarint()
+	}
+	r.ExpectEOF()
+	return st, r.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy.
+// ---------------------------------------------------------------------------
+
+func (n *Node) antiEntropyLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+			n.runAntiEntropyOnce()
+		}
+	}
+}
+
+// runAntiEntropyOnce exchanges digests with one random peer and reconciles
+// every differing key in both directions.
+func (n *Node) runAntiEntropyOnce() {
+	members := n.cfg.Ring.Members()
+	peers := withoutID(members, n.cfg.ID)
+	if len(peers) == 0 {
+		return
+	}
+	n.mu.Lock()
+	peer := peers[n.rng.Intn(len(peers))]
+	n.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
+	defer cancel()
+	if n.cfg.HintedHandoff {
+		n.DeliverHints(ctx)
+	}
+	if err := n.AntiEntropyWith(ctx, peer); err == nil {
+		n.bump(func(s *Stats) { s.AERounds++ })
+	}
+}
+
+// AntiEntropyWith reconciles this node's keys with one peer. Small stores
+// use the flat exchange (every (key, hash) pair crosses the wire); large
+// stores first exchange a Merkle leaf digest and reconcile only the keys
+// in differing buckets.
+func (n *Node) AntiEntropyWith(ctx context.Context, peer dot.ID) error {
+	keys := n.store.Keys()
+	if len(keys) > aeDigestThreshold {
+		return n.antiEntropyDigest(ctx, peer, keys)
+	}
+	w := codec.NewWriter(64 + 16*len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Uvarint(n.store.KeyHash(k))
+	}
+	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
+		Method: MethodAEDiff, Body: w.Bytes(),
+	})
+	if err != nil {
+		return err
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return aerr
+	}
+	r := codec.NewReader(resp.Body)
+	m := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if m > uint64(r.Remaining()) {
+		return codec.ErrCorrupt
+	}
+	pushback := make([]string, 0, m)
+	for i := uint64(0); i < m; i++ {
+		key := r.String()
+		st, err := n.cfg.Mech.DecodeState(r)
+		if err != nil {
+			return err
+		}
+		n.store.SyncKey(key, st)
+		pushback = append(pushback, key)
+	}
+	// Keys the peer reported missing entirely: push our states.
+	missing := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if missing > uint64(r.Remaining()) {
+		return codec.ErrCorrupt
+	}
+	for i := uint64(0); i < missing; i++ {
+		pushback = append(pushback, r.String())
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	// Push merged states back so the peer converges too.
+	for _, key := range pushback {
+		if merged, ok := n.store.Snapshot(key); ok {
+			if err := n.replPut(ctx, peer, key, merged); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Node) handleAEDiff(body []byte) transport.Response {
+	r := codec.NewReader(body)
+	cnt := r.Uvarint()
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
+	if cnt > uint64(r.Remaining()) {
+		return fail(codec.ErrCorrupt)
+	}
+	remote := make(map[string]uint64, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		k := r.String()
+		h := r.Uvarint()
+		if r.Err() != nil {
+			return fail(r.Err())
+		}
+		remote[k] = h
+	}
+	// Respond with (a) states for local keys the caller lacks or holds
+	// differently, and (b) the names of caller keys we lack entirely so
+	// the caller pushes them back.
+	w := codec.NewWriter(256)
+	local := n.store.Keys()
+	localSet := make(map[string]bool, len(local))
+	var diff []string
+	for _, k := range local {
+		localSet[k] = true
+		if h, ok := remote[k]; !ok || h != n.store.KeyHash(k) {
+			diff = append(diff, k)
+		}
+	}
+	w.Uvarint(uint64(len(diff)))
+	for _, k := range diff {
+		w.String(k)
+		st, _ := n.store.Snapshot(k)
+		n.cfg.Mech.EncodeState(w, st)
+	}
+	var missing []string
+	for k := range remote {
+		if !localSet[k] {
+			missing = append(missing, k)
+		}
+	}
+	sort.Strings(missing)
+	w.Uvarint(uint64(len(missing)))
+	for _, k := range missing {
+		w.String(k)
+	}
+	return transport.Response{Body: w.Bytes()}
+}
+
+// ---------------------------------------------------------------------------
+// Hinted handoff.
+// ---------------------------------------------------------------------------
+
+// storeHint records state for redelivery to an unreachable peer, merging
+// with any hint already pending for the same (peer, key).
+func (n *Node) storeHint(peer dot.ID, key string, st core.State) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	perPeer, ok := n.hints[peer]
+	if !ok {
+		perPeer = make(map[string]core.State)
+		n.hints[peer] = perPeer
+	}
+	if prev, ok := perPeer[key]; ok {
+		perPeer[key] = n.cfg.Mech.Sync(prev, st)
+	} else {
+		perPeer[key] = n.cfg.Mech.CloneState(st)
+	}
+	n.stats.HintsStored++
+}
+
+// PendingHints reports the number of undelivered (peer, key) hints.
+func (n *Node) PendingHints() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, perPeer := range n.hints {
+		total += len(perPeer)
+	}
+	return total
+}
+
+// DeliverHints attempts to redeliver all pending hints; hints that reach
+// their peer are dropped, the rest are kept for the next attempt. The
+// anti-entropy tick calls this automatically.
+func (n *Node) DeliverHints(ctx context.Context) {
+	n.mu.Lock()
+	type item struct {
+		peer  dot.ID
+		key   string
+		state core.State
+	}
+	var todo []item
+	for peer, perPeer := range n.hints {
+		for key, st := range perPeer {
+			todo = append(todo, item{peer, key, st})
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(todo, func(i, j int) bool {
+		if todo[i].peer != todo[j].peer {
+			return todo[i].peer < todo[j].peer
+		}
+		return todo[i].key < todo[j].key
+	})
+	for _, it := range todo {
+		if err := n.replPut(ctx, it.peer, it.key, it.state); err != nil {
+			continue
+		}
+		n.mu.Lock()
+		// A newer hint may have merged in since the snapshot; drop the
+		// entry only if it is still exactly what was delivered.
+		if perPeer, ok := n.hints[it.peer]; ok {
+			if cur, ok := perPeer[it.key]; ok && sameState(n.cfg.Mech, cur, it.state) {
+				delete(perPeer, it.key)
+				if len(perPeer) == 0 {
+					delete(n.hints, it.peer)
+				}
+			}
+		}
+		n.stats.HintsDelivered++
+		n.mu.Unlock()
+	}
+}
+
+// sameState compares two states by their canonical encoding.
+func sameState(m core.Mechanism, a, b core.State) bool {
+	wa := codec.NewWriter(128)
+	m.EncodeState(wa, a)
+	wb := codec.NewWriter(128)
+	m.EncodeState(wb, b)
+	return bytes.Equal(wa.Bytes(), wb.Bytes())
+}
+
+// antiEntropyDigest is the large-store reconciliation path: exchange
+// Merkle leaves, then reconcile only the keys living in differing buckets
+// (pull the peer's copies, push merged states back).
+func (n *Node) antiEntropyDigest(ctx context.Context, peer dot.ID, keys []string) error {
+	hashes := make(map[string]uint64, len(keys))
+	for _, k := range keys {
+		hashes[k] = n.store.KeyHash(k)
+	}
+	digest := antientropy.Build(hashes, aeBuckets)
+	leaves := digest.Levels[0]
+	w := codec.NewWriter(16 + 9*len(leaves))
+	w.Uvarint(uint64(len(leaves)))
+	for _, l := range leaves {
+		w.Uvarint(l)
+	}
+	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
+		Method: MethodAEDigest, Body: w.Bytes(),
+	})
+	if err != nil {
+		return err
+	}
+	if aerr := transport.AppError(resp); aerr != nil {
+		return aerr
+	}
+	r := codec.NewReader(resp.Body)
+	// Differing bucket indexes.
+	nb := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nb > uint64(r.Remaining()) {
+		return codec.ErrCorrupt
+	}
+	diffBuckets := make([]int, 0, nb)
+	for i := uint64(0); i < nb; i++ {
+		diffBuckets = append(diffBuckets, int(r.Uvarint()))
+	}
+	// Peer's (key, hash) pairs within those buckets.
+	np := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if np > uint64(r.Remaining()) {
+		return codec.ErrCorrupt
+	}
+	peerHashes := make(map[string]uint64, np)
+	for i := uint64(0); i < np; i++ {
+		k := r.String()
+		h := r.Uvarint()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		peerHashes[k] = h
+	}
+	// Pull the peer's differing keys, then push merged states for every
+	// key in scope (peer keys + our own keys in differing buckets).
+	scope := make(map[string]bool, len(peerHashes))
+	for k, h := range peerHashes {
+		if hashes[k] != h {
+			st, found, err := n.replGet(ctx, peer, k)
+			if err != nil {
+				return err
+			}
+			if found {
+				n.store.SyncKey(k, st)
+			}
+			scope[k] = true
+		}
+	}
+	for _, k := range antientropy.KeysInBuckets(keys, digest.Buckets(), diffBuckets) {
+		if h, ok := peerHashes[k]; !ok || h != hashes[k] {
+			scope[k] = true
+		}
+	}
+	scoped := make([]string, 0, len(scope))
+	for k := range scope {
+		scoped = append(scoped, k)
+	}
+	sort.Strings(scoped)
+	for _, k := range scoped {
+		if merged, ok := n.store.Snapshot(k); ok {
+			if err := n.replPut(ctx, peer, k, merged); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Node) handleAEDigest(body []byte) transport.Response {
+	r := codec.NewReader(body)
+	nl := r.Uvarint()
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
+	if nl == 0 || nl > 1<<16 {
+		return fail(codec.ErrCorrupt)
+	}
+	leaves := make([]uint64, 0, nl)
+	for i := uint64(0); i < nl; i++ {
+		leaves = append(leaves, r.Uvarint())
+	}
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
+	remote := antientropy.FromLeaves(leaves)
+	keys := n.store.Keys()
+	hashes := make(map[string]uint64, len(keys))
+	for _, k := range keys {
+		hashes[k] = n.store.KeyHash(k)
+	}
+	local := antientropy.Build(hashes, len(leaves))
+	diff := antientropy.DiffBuckets(local, remote)
+	w := codec.NewWriter(256)
+	w.Uvarint(uint64(len(diff)))
+	for _, b := range diff {
+		w.Uvarint(uint64(b))
+	}
+	inScope := antientropy.KeysInBuckets(keys, local.Buckets(), diff)
+	w.Uvarint(uint64(len(inScope)))
+	for _, k := range inScope {
+		w.String(k)
+		w.Uvarint(hashes[k])
+	}
+	return transport.Response{Body: w.Bytes()}
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+func containsID(ids []dot.ID, id dot.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func withoutID(ids []dot.ID, id dot.ID) []dot.ID {
+	out := make([]dot.ID, 0, len(ids))
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}

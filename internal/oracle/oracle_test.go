@@ -1,0 +1,236 @@
+package oracle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+)
+
+func put(replica int, client string, mode CtxMode, val string) Op {
+	return Op{Kind: OpPut, Replica: replica, Client: dot.ID(client), Mode: mode, Value: []byte(val)}
+}
+
+func sync2(a, b int) Op { return Op{Kind: OpSync, Replica: a, Peer: b} }
+
+func TestReplaySimpleOverwrite(t *testing.T) {
+	for name, m := range core.Registry() {
+		t.Run(name, func(t *testing.T) {
+			r := NewRun(m, 2)
+			trace := []Op{
+				put(0, "c1", CtxFresh, "w1"),
+				put(0, "c1", CtxFresh, "w2"),
+				sync2(0, 1),
+			}
+			if err := r.Replay(trace); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if got := r.Values(i); !reflect.DeepEqual(got, []string{"w2"}) {
+					t.Fatalf("replica %d = %v", i, got)
+				}
+			}
+			if r.Puts != 2 {
+				t.Fatalf("Puts = %d", r.Puts)
+			}
+		})
+	}
+}
+
+func TestReplayConcurrentWriters(t *testing.T) {
+	// Two clients race on different replicas; precise mechanisms keep both.
+	for _, m := range []core.Mechanism{core.NewDVV(), core.NewDVVSet(), core.NewClientVV(), core.NewOracle()} {
+		t.Run(m.Name(), func(t *testing.T) {
+			r := NewRun(m, 2)
+			trace := []Op{
+				put(0, "c1", CtxFresh, "w1"),
+				put(1, "c2", CtxFresh, "w2"), // replica 1 never saw w1
+			}
+			if err := r.Replay(trace); err != nil {
+				t.Fatal(err)
+			}
+			r.Converge()
+			if got := r.Values(0); !reflect.DeepEqual(got, []string{"w1", "w2"}) {
+				t.Fatalf("converged = %v", got)
+			}
+		})
+	}
+}
+
+func TestSessionDisciplineAcrossReplicas(t *testing.T) {
+	// A client writing through two replicas that never synced must still
+	// causally order its own writes (read-your-writes via session ctx).
+	for _, m := range []core.Mechanism{core.NewDVV(), core.NewDVVSet(), core.NewClientVV(), core.NewOracle()} {
+		t.Run(m.Name(), func(t *testing.T) {
+			r := NewRun(m, 2)
+			trace := []Op{
+				put(0, "c1", CtxFresh, "w1"),
+				put(1, "c1", CtxFresh, "w2"), // replica 1 is stale; session must carry w1
+			}
+			if err := r.Replay(trace); err != nil {
+				t.Fatal(err)
+			}
+			r.Converge()
+			if got := r.Values(0); !reflect.DeepEqual(got, []string{"w2"}) {
+				t.Fatalf("converged = %v, want w2 to dominate its own session", got)
+			}
+		})
+	}
+}
+
+func TestCompareCleanForPreciseMechanisms(t *testing.T) {
+	// C5: on random traces, DVV, DVVSet and client-VV must match the
+	// oracle exactly.
+	cfgs := []TraceConfig{
+		{Ops: 150, Replicas: 1, Clients: 4, PSync: 0, PStale: 0.4},
+		{Ops: 200, Replicas: 3, Clients: 6, PSync: 0.2, PStale: 0.3},
+		{Ops: 300, Replicas: 5, Clients: 12, PSync: 0.3, PStale: 0.5},
+	}
+	mechs := []core.Mechanism{core.NewDVV(), core.NewDVVSet(), core.NewClientVV(), core.NewVVE()}
+	for ci, cfg := range cfgs {
+		for seed := int64(0); seed < 10; seed++ {
+			trace := RandomTrace(rand.New(rand.NewSource(seed)), cfg)
+			for _, m := range mechs {
+				a, err := Compare(m, trace, cfg.Replicas)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !a.Clean() {
+					t.Fatalf("cfg %d seed %d: %s diverged: %s", ci, seed, m.Name(), a)
+				}
+			}
+		}
+	}
+}
+
+func TestServerVVLosesUpdates(t *testing.T) {
+	// Figure 1b quantified: across random racing traces the server-entry
+	// VV must lose updates (and never report false extra siblings it
+	// invented — it only merges away).
+	cfg := TraceConfig{Ops: 200, Replicas: 3, Clients: 8, PSync: 0.2, PStale: 0.5}
+	lost := 0
+	for seed := int64(0); seed < 10; seed++ {
+		trace := RandomTrace(rand.New(rand.NewSource(seed)), cfg)
+		a, err := Compare(core.NewServerVV(), trace, cfg.Replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lost += a.LostUpdates
+	}
+	if lost == 0 {
+		t.Fatal("server VV lost no updates across 10 racing traces — the Figure 1b flaw is not being exercised")
+	}
+}
+
+func TestPrunedVVShowsAnomalies(t *testing.T) {
+	// C4: a tight pruning cap must produce anomalies on racing traces
+	// with many clients.
+	cfg := TraceConfig{Ops: 400, Replicas: 3, Clients: 24, PSync: 0.15, PStale: 0.5}
+	total := 0
+	for seed := int64(0); seed < 10; seed++ {
+		trace := RandomTrace(rand.New(rand.NewSource(seed+100)), cfg)
+		a, err := Compare(core.NewPrunedClientVV(2), trace, cfg.Replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += a.LostUpdates + a.FalseConcurrency
+	}
+	if total == 0 {
+		t.Fatal("pruning produced no anomalies across 10 traces")
+	}
+}
+
+func TestMetadataBoundedForDVV(t *testing.T) {
+	// C2 at the trace level: DVV metadata stays bounded regardless of
+	// client count; client-VV metadata grows.
+	base := TraceConfig{Ops: 400, Replicas: 3, PSync: 0.2, PStale: 0.4}
+	run := func(m core.Mechanism, clients int) int {
+		cfg := base
+		cfg.Clients = clients
+		r := NewRun(m, cfg.Replicas)
+		if err := r.Replay(RandomTrace(rand.New(rand.NewSource(7)), cfg)); err != nil {
+			t.Fatal(err)
+		}
+		return r.MaxMetadataBytes
+	}
+	if few, many := run(core.NewDVV(), 4), run(core.NewDVV(), 64); many > 4*few {
+		t.Fatalf("DVV metadata grew with clients: %d -> %d", few, many)
+	}
+	if few, many := run(core.NewClientVV(), 4), run(core.NewClientVV(), 64); many < 2*few {
+		t.Fatalf("client-VV metadata did not grow with clients: %d -> %d", few, many)
+	}
+}
+
+func TestConvergeReachesFixpoint(t *testing.T) {
+	m := core.NewDVV()
+	r := NewRun(m, 4)
+	cfg := TraceConfig{Ops: 150, Replicas: 4, Clients: 6, PSync: 0.1, PStale: 0.4}
+	if err := r.Replay(RandomTrace(rand.New(rand.NewSource(3)), cfg)); err != nil {
+		t.Fatal(err)
+	}
+	r.Converge()
+	want := r.Values(0)
+	for i := 1; i < 4; i++ {
+		if got := r.Values(i); !reflect.DeepEqual(got, want) {
+			t.Fatalf("replica %d = %v, replica 0 = %v", i, got, want)
+		}
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	m := core.NewDVV()
+	r := NewRun(m, 2)
+	if err := r.Step(Op{Kind: OpPut, Replica: 9}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := r.Step(Op{Kind: OpSync, Replica: 0, Peer: 9}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := r.Step(Op{Kind: 0}); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestRandomTraceShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := TraceConfig{Ops: 500, Replicas: 3, Clients: 5, PSync: 0.3, PStale: 0.2}
+	trace := RandomTrace(r, cfg)
+	if len(trace) != 500 {
+		t.Fatalf("len = %d", len(trace))
+	}
+	syncs, puts := 0, 0
+	seen := map[string]bool{}
+	for _, op := range trace {
+		switch op.Kind {
+		case OpSync:
+			syncs++
+			if op.Replica == op.Peer {
+				t.Fatal("self-sync generated")
+			}
+		case OpPut:
+			puts++
+			if seen[string(op.Value)] {
+				t.Fatalf("duplicate write id %s", op.Value)
+			}
+			seen[string(op.Value)] = true
+		}
+	}
+	if syncs == 0 || puts == 0 {
+		t.Fatalf("degenerate trace: %d syncs, %d puts", syncs, puts)
+	}
+	if got := RandomTrace(r, TraceConfig{}); got != nil {
+		t.Fatal("invalid config should yield nil trace")
+	}
+}
+
+func TestAnomaliesString(t *testing.T) {
+	a := Anomalies{LostUpdates: 1, FalseConcurrency: 2, MechSiblings: 3, OracleSiblings: 4}
+	if a.Clean() {
+		t.Fatal("non-zero anomalies reported clean")
+	}
+	if got := a.String(); got != "lost=1 false-concurrent=2 final-lost=0 final-false=0 siblings=3/4" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Package ring implements the consistent-hashing ring that Dynamo-style
+// stores (and Riak, the paper's evaluation vehicle) use to place keys on
+// replica servers: each node owns many virtual points on a hash circle and
+// a key's *preference list* is the first N distinct nodes clockwise from
+// the key's hash.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/dot"
+)
+
+// DefaultVirtualNodes is the number of points each node claims on the
+// circle; more points smooth the load distribution.
+const DefaultVirtualNodes = 64
+
+// Ring maps keys to preference lists of node ids. It is safe for
+// concurrent use; membership changes take a write lock.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []point // sorted by hash
+	members map[dot.ID]struct{}
+}
+
+type point struct {
+	hash uint64
+	node dot.ID
+}
+
+// New creates a ring with the given virtual-node count per member
+// (DefaultVirtualNodes if vnodes ≤ 0).
+func New(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[dot.ID]struct{})}
+}
+
+func hashBytes(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Add inserts a node. Adding an existing member is a no-op.
+func (r *Ring) Add(node dot.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; ok {
+		return
+	}
+	r.members[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{
+			hash: hashBytes(string(node), fmt.Sprintf("vn%d", i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node and its virtual points. Removing a non-member is a
+// no-op.
+func (r *Ring) Remove(node dot.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; !ok {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the node ids, sorted.
+func (r *Ring) Members() []dot.ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]dot.ID, 0, len(r.members))
+	for id := range r.members {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Preference returns the first n distinct nodes clockwise from key's hash.
+// If n exceeds the membership, all members are returned (in ring order).
+func (r *Ring) Preference(key string, n int) []dot.ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashBytes(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]dot.ID, 0, n)
+	seen := make(map[dot.ID]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Coordinator returns the first node of the key's preference list.
+func (r *Ring) Coordinator(key string) (dot.ID, bool) {
+	pl := r.Preference(key, 1)
+	if len(pl) == 0 {
+		return "", false
+	}
+	return pl[0], true
+}
+
+// Owns reports whether node is in the key's preference list of length n.
+func (r *Ring) Owns(node dot.ID, key string, n int) bool {
+	for _, id := range r.Preference(key, n) {
+		if id == node {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dot"
+)
+
+func nodes(n int) []dot.ID {
+	out := make([]dot.ID, n)
+	for i := range out {
+		out[i] = dot.ID(fmt.Sprintf("node-%02d", i))
+	}
+	return out
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if r.Size() != 0 {
+		t.Fatal("empty ring has members")
+	}
+	if pl := r.Preference("k", 3); pl != nil {
+		t.Fatalf("Preference on empty ring = %v", pl)
+	}
+	if _, ok := r.Coordinator("k"); ok {
+		t.Fatal("Coordinator on empty ring")
+	}
+}
+
+func TestAddRemoveIdempotent(t *testing.T) {
+	r := New(8)
+	r.Add("a")
+	r.Add("a")
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	r.Remove("missing") // no-op
+	r.Remove("a")
+	r.Remove("a")
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d after removes", r.Size())
+	}
+	if len(r.Preference("k", 1)) != 0 {
+		t.Fatal("points remained after removal")
+	}
+}
+
+func TestPreferenceProperties(t *testing.T) {
+	r := New(32)
+	for _, n := range nodes(5) {
+		r.Add(n)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		pl := r.Preference(key, 3)
+		if len(pl) != 3 {
+			t.Fatalf("len(pl) = %d", len(pl))
+		}
+		seen := map[dot.ID]bool{}
+		for _, id := range pl {
+			if seen[id] {
+				t.Fatalf("duplicate node in preference list: %v", pl)
+			}
+			seen[id] = true
+		}
+		// Deterministic.
+		pl2 := r.Preference(key, 3)
+		for j := range pl {
+			if pl[j] != pl2[j] {
+				t.Fatal("preference list not deterministic")
+			}
+		}
+	}
+}
+
+func TestPreferenceClampsToMembership(t *testing.T) {
+	r := New(16)
+	for _, n := range nodes(2) {
+		r.Add(n)
+	}
+	if pl := r.Preference("k", 5); len(pl) != 2 {
+		t.Fatalf("len = %d, want clamp to 2", len(pl))
+	}
+	if pl := r.Preference("k", 0); pl != nil {
+		t.Fatal("n=0 should be nil")
+	}
+}
+
+func TestDistributionRoughlyUniform(t *testing.T) {
+	r := New(128)
+	ns := nodes(4)
+	for _, n := range ns {
+		r.Add(n)
+	}
+	counts := map[dot.ID]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		c, ok := r.Coordinator(fmt.Sprintf("key-%d", i))
+		if !ok {
+			t.Fatal("no coordinator")
+		}
+		counts[c]++
+	}
+	for _, n := range ns {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of keys — distribution too skewed: %v", n, share*100, counts)
+		}
+	}
+}
+
+func TestMinimalDisruptionOnMembershipChange(t *testing.T) {
+	// Consistent hashing's defining property: removing one of 5 nodes
+	// must remap only keys owned by that node.
+	r := New(64)
+	ns := nodes(5)
+	for _, n := range ns {
+		r.Add(n)
+	}
+	before := map[string]dot.ID{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k], _ = r.Coordinator(k)
+	}
+	r.Remove(ns[0])
+	moved := 0
+	for k, owner := range before {
+		now, _ := r.Coordinator(k)
+		if now != owner {
+			if owner != ns[0] {
+				t.Fatalf("key %s moved from surviving node %s to %s", k, owner, now)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved — removal had no effect?")
+	}
+}
+
+func TestOwns(t *testing.T) {
+	r := New(32)
+	for _, n := range nodes(4) {
+		r.Add(n)
+	}
+	key := "some-key"
+	pl := r.Preference(key, 2)
+	if !r.Owns(pl[0], key, 2) || !r.Owns(pl[1], key, 2) {
+		t.Fatal("preference members not owners")
+	}
+	owners := 0
+	for _, n := range nodes(4) {
+		if r.Owns(n, key, 2) {
+			owners++
+		}
+	}
+	if owners != 2 {
+		t.Fatalf("owners = %d, want 2", owners)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	r := New(8)
+	r.Add("zeta")
+	r.Add("alpha")
+	r.Add("mid")
+	ms := r.Members()
+	if len(ms) != 3 || ms[0] != "alpha" || ms[1] != "mid" || ms[2] != "zeta" {
+		t.Fatalf("Members = %v", ms)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New(16)
+	for _, n := range nodes(3) {
+		r.Add(n)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					r.Preference(fmt.Sprintf("k%d-%d", g, i), 3)
+				case 1:
+					r.Members()
+				case 2:
+					r.Add(dot.ID(fmt.Sprintf("tmp-%d", g)))
+				case 3:
+					r.Remove(dot.ID(fmt.Sprintf("tmp-%d", g)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

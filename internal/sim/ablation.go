@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+)
+
+// AblationConfig parameterises the DVV vs DVVSet ablation (A1).
+type AblationConfig struct {
+	// SiblingTargets sweeps how many concurrent siblings the storm
+	// sustains per key.
+	SiblingTargets []int
+	Replicas       int
+	Seed           int64
+}
+
+// DefaultAblationConfig matches the harness defaults.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{SiblingTargets: []int{1, 2, 4, 8, 16, 32}, Replicas: 3, Seed: 77}
+}
+
+// RunDVVSetAblation compares per-version DVV against the compact DVVSet:
+// with s concurrent siblings, per-version DVV stores s dots + s vectors
+// while DVVSet stores one (id, counter, length) triple per replica server,
+// independent of s. The table reports exact encoded metadata bytes.
+func RunDVVSetAblation(cfg AblationConfig) *stats.Table {
+	if len(cfg.SiblingTargets) == 0 {
+		cfg = DefaultAblationConfig()
+	}
+	t := stats.NewTable("A1 — sibling-set metadata: per-version DVV vs DVVSet (bytes)",
+		"siblings", "dvv bytes", "dvvset bytes", "ratio")
+	dvvM, setM := core.NewDVV(), core.NewDVVSet()
+	for _, target := range cfg.SiblingTargets {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		servers := make([]dot.ID, cfg.Replicas)
+		for i := range servers {
+			servers[i] = dot.ID(string(rune('A' + i)))
+		}
+		// One base write, then `target` racing writers that all read the
+		// base context — every write becomes a sibling.
+		build := func(m core.Mechanism) core.State {
+			st := m.NewState()
+			st, _ = m.Put(st, m.EmptyContext(), []byte("base"), core.WriteInfo{Server: "A", Client: "seed"})
+			baseCtx := m.Read(st).Ctx
+			for i := 0; i < target; i++ {
+				st, _ = m.Put(st, baseCtx, []byte("sib"), core.WriteInfo{
+					Server: servers[rng.Intn(len(servers))],
+					Client: dot.ID(fmt.Sprintf("c%03d", i)),
+				})
+			}
+			return st
+		}
+		a := build(dvvM)
+		b := build(setM)
+		da, db := dvvM.MetadataBytes(a), setM.MetadataBytes(b)
+		ratio := 0.0
+		if db > 0 {
+			ratio = float64(da) / float64(db)
+		}
+		t.AddRow(dvvM.Siblings(a), da, db, ratio)
+	}
+	return t
+}
+
+// RunAblationTrace compares the two representations along a full random
+// trace, reporting the max metadata each needed.
+func RunAblationTrace(cfg AblationConfig) *stats.Table {
+	if cfg.Replicas == 0 {
+		cfg = DefaultAblationConfig()
+	}
+	t := stats.NewTable("A1b — trace max metadata: per-version DVV vs DVVSet",
+		"clients", "dvv max B", "dvvset max B")
+	for _, clients := range []int{4, 16, 64} {
+		tcfg := oracle.TraceConfig{
+			Ops: clients * 10, Replicas: cfg.Replicas, Clients: clients,
+			PSync: 0.15, PStale: 0.5,
+		}
+		trace := oracle.RandomTrace(rand.New(rand.NewSource(cfg.Seed)), tcfg)
+		row := []any{clients}
+		for _, m := range []core.Mechanism{core.NewDVV(), core.NewDVVSet()} {
+			run := oracle.NewRun(m, cfg.Replicas)
+			if err := run.Replay(trace); err != nil {
+				row = append(row, "err")
+				continue
+			}
+			row = append(row, run.MaxMetadataBytes)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dot"
+	"repro/internal/dvv"
+	"repro/internal/stats"
+	"repro/internal/svv"
+	"repro/internal/vv"
+)
+
+// CompareConfig parameterises the causality-check cost experiment (C1).
+type CompareConfig struct {
+	// Sizes are the vector entry counts to sweep.
+	Sizes []int
+	// Iters is the number of comparisons timed per size.
+	Iters int
+}
+
+// DefaultCompareConfig matches the harness defaults.
+func DefaultCompareConfig() CompareConfig {
+	return CompareConfig{Sizes: []int{1, 4, 16, 64, 256, 1024, 4096}, Iters: 20000}
+}
+
+// buildWideClock builds a DVV whose past has n entries, and the matching
+// plain VV pair for the baselines: vb dominates va.
+func buildWideClock(n int) (a, b dvv.Clock, va, vb vv.VV) {
+	va, vb = vv.New(), vv.New()
+	for i := 0; i < n; i++ {
+		id := dot.ID(fmt.Sprintf("s%05d", i))
+		va.Set(id, 3)
+		vb.Set(id, 4)
+	}
+	a = dvv.New(dot.New("s00000", 4), va.Clone()) // dot covered by vb
+	b = dvv.New(dot.New("s00001", 5), vb.Clone())
+	return a, b, va, vb
+}
+
+// RunCompareCost measures the wall-clock cost of one causality check as
+// vector width grows: DVV's dot-membership test is O(1) while the plain
+// VV and summarised-VV dominance checks walk the entries. Returns
+// nanoseconds per operation per mechanism and size.
+func RunCompareCost(cfg CompareConfig) *stats.Table {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 20000
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultCompareConfig().Sizes
+	}
+	t := stats.NewTable("C1 — causality check cost vs vector width (ns/op)",
+		"entries", "dvv dot-check", "vv compare", "svv compare (summary hit)")
+	for _, n := range cfg.Sizes {
+		a, b, va, vb := buildWideClock(n)
+		sa, sb := svv.FromVV(va), svv.FromVV(vb)
+
+		dvvNs := timePerOp(cfg.Iters, func() { sinkBool = a.Before(b) })
+		vvNs := timePerOp(cfg.Iters, func() { sinkBool = vb.Descends(va) })
+		// svv fast path: totals differ, O(1) reject for the reverse check.
+		svvNs := timePerOp(cfg.Iters, func() { sinkBool = sa.Descends(sb) })
+
+		t.AddRow(n, fmt.Sprintf("%.1f", dvvNs), fmt.Sprintf("%.1f", vvNs), fmt.Sprintf("%.1f", svvNs))
+	}
+	return t
+}
+
+// sinkBool defeats dead-code elimination in the timed loops.
+var sinkBool bool
+
+func timePerOp(iters int, f func()) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}

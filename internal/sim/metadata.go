@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+)
+
+// MetadataConfig parameterises the metadata-growth experiment (C2).
+type MetadataConfig struct {
+	// ClientCounts is the sweep of concurrent writer counts.
+	ClientCounts []int
+	// Replicas is the replication degree (the bound DVV must respect).
+	Replicas int
+	// OpsPerClient scales trace length with the client count.
+	OpsPerClient int
+	// PStale is the fraction of writes that skip the fresh read.
+	PStale float64
+	// Seed fixes the traces.
+	Seed int64
+}
+
+// DefaultMetadataConfig matches the harness defaults.
+func DefaultMetadataConfig() MetadataConfig {
+	return MetadataConfig{
+		ClientCounts: []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
+		Replicas:     3,
+		OpsPerClient: 8,
+		PStale:       0.4,
+		Seed:         42,
+	}
+}
+
+// RunMetadataSweep reproduces the paper's space claim: *per-version*
+// causal metadata (max bytes per retained sibling observed at any replica
+// during the trace) as the number of concurrent writing clients grows.
+// DVV and DVVSet stay bounded by the replica count; client-entry VVs grow
+// with the writer count; the causal-history oracle grows with the event
+// count. The final column shows the sibling count so total state size can
+// be reconstructed (total ≈ per-version × siblings for the per-version
+// schemes).
+func RunMetadataSweep(cfg MetadataConfig) *stats.Table {
+	if len(cfg.ClientCounts) == 0 {
+		cfg = DefaultMetadataConfig()
+	}
+	mechs := []core.Mechanism{
+		core.NewDVV(), core.NewDVVSet(), core.NewClientVV(), core.NewServerVV(), core.NewVVE(), core.NewOracle(),
+	}
+	t := stats.NewTable("C2 — max per-version metadata bytes vs concurrent clients (replicas=3)",
+		"clients", "dvv", "dvvset", "clientvv", "servervv", "vve", "oracle", "max siblings (dvv)")
+	for _, clients := range cfg.ClientCounts {
+		tcfg := oracle.TraceConfig{
+			Ops:      cfg.OpsPerClient * clients,
+			Replicas: cfg.Replicas,
+			Clients:  clients,
+			PSync:    0.15,
+			PStale:   cfg.PStale,
+		}
+		trace := oracle.RandomTrace(rand.New(rand.NewSource(cfg.Seed)), tcfg)
+		row := []any{clients}
+		var dvvSiblings int
+		for _, m := range mechs {
+			run := oracle.NewRun(m, cfg.Replicas)
+			if err := run.Replay(trace); err != nil {
+				row = append(row, "err")
+				continue
+			}
+			row = append(row, run.MaxVersionBytes)
+			if m.Name() == "dvv" {
+				dvvSiblings = run.MaxSiblings
+			}
+		}
+		row = append(row, dvvSiblings)
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// SiblingConfig parameterises the sibling-growth view of the same sweep.
+type SiblingConfig = MetadataConfig
+
+// RunSiblingSweep reports the converged sibling counts per mechanism at
+// each client count — showing server-VV losing siblings it should keep
+// (false overwrites) while the precise mechanisms agree with the oracle.
+func RunSiblingSweep(cfg MetadataConfig) *stats.Table {
+	if len(cfg.ClientCounts) == 0 {
+		cfg = DefaultMetadataConfig()
+	}
+	mechs := []core.Mechanism{
+		core.NewDVV(), core.NewDVVSet(), core.NewClientVV(), core.NewServerVV(), core.NewOracle(),
+	}
+	t := stats.NewTable("C2b — converged sibling count vs concurrent clients",
+		"clients", "dvv", "dvvset", "clientvv", "servervv", "oracle")
+	for _, clients := range cfg.ClientCounts {
+		tcfg := oracle.TraceConfig{
+			Ops:      cfg.OpsPerClient * clients,
+			Replicas: cfg.Replicas,
+			Clients:  clients,
+			PSync:    0.15,
+			PStale:   cfg.PStale,
+		}
+		trace := oracle.RandomTrace(rand.New(rand.NewSource(cfg.Seed)), tcfg)
+		row := []any{clients}
+		for _, m := range mechs {
+			run := oracle.NewRun(m, cfg.Replicas)
+			if err := run.Replay(trace); err != nil {
+				row = append(row, "err")
+				continue
+			}
+			run.Converge()
+			row = append(row, len(run.Values(0)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+)
+
+// PruningConfig parameterises the pruning-safety experiment (C4).
+type PruningConfig struct {
+	// Caps is the sweep of pruning thresholds (max vector entries).
+	Caps []int
+	// Clients, Replicas, Ops and PStale shape the racing traces.
+	Clients  int
+	Replicas int
+	Ops      int
+	PStale   float64
+	// Trials averages anomaly counts over several seeds.
+	Trials int
+	Seed   int64
+}
+
+// DefaultPruningConfig matches the harness defaults.
+func DefaultPruningConfig() PruningConfig {
+	return PruningConfig{
+		Caps:    []int{2, 4, 8, 16, 32},
+		Clients: 48, Replicas: 3, Ops: 600, PStale: 0.5,
+		Trials: 5, Seed: 1000,
+	}
+}
+
+// RunPruningSafety quantifies the paper's unsafety claim: client-entry VV
+// with optimistic pruning (Riak practice) is compared against the exact
+// oracle on racing traces; lost updates and false concurrency are counted
+// per cap. DVV rows are included to show zero anomalies with bounded
+// metadata on the same traces.
+func RunPruningSafety(cfg PruningConfig) *stats.Table {
+	if len(cfg.Caps) == 0 {
+		cfg = DefaultPruningConfig()
+	}
+	t := stats.NewTable("C4 — optimistic pruning is unsafe (totals over trials)",
+		"mechanism", "lost updates", "false concurrency", "final divergent", "max metadata B")
+	tcfg := oracle.TraceConfig{
+		Ops: cfg.Ops, Replicas: cfg.Replicas, Clients: cfg.Clients,
+		PSync: 0.15, PStale: cfg.PStale,
+	}
+	type agg struct {
+		lost, falseConc, finalDiv, maxMeta int
+	}
+	measure := func(m core.Mechanism) agg {
+		var a agg
+		for trial := 0; trial < cfg.Trials; trial++ {
+			trace := oracle.RandomTrace(rand.New(rand.NewSource(cfg.Seed+int64(trial))), tcfg)
+			an, err := oracle.Compare(m, trace, cfg.Replicas)
+			if err != nil {
+				continue
+			}
+			a.lost += an.LostUpdates
+			a.falseConc += an.FalseConcurrency
+			a.finalDiv += an.FinalLost + an.FinalFalse
+			run := oracle.NewRun(m, cfg.Replicas)
+			if err := run.Replay(trace); err == nil {
+				if run.MaxMetadataBytes > a.maxMeta {
+					a.maxMeta = run.MaxMetadataBytes
+				}
+			}
+		}
+		return a
+	}
+	for _, cap := range cfg.Caps {
+		m := core.NewPrunedClientVV(cap)
+		a := measure(m)
+		t.AddRow(m.Name(), a.lost, a.falseConc, a.finalDiv, a.maxMeta)
+	}
+	for _, m := range []core.Mechanism{core.NewClientVV(), core.NewDVV()} {
+		a := measure(m)
+		t.AddRow(m.Name(), a.lost, a.falseConc, a.finalDiv, a.maxMeta)
+	}
+	return t
+}

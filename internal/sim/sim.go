@@ -1,0 +1,70 @@
+// Package sim is the experiment harness: each exported Run* function
+// regenerates one of the paper's figures or headline claims (see the
+// experiment index in DESIGN.md) and returns text tables with the same
+// rows/series the paper reports. cmd/dvvbench exposes them on the command
+// line; bench_test.go wraps the hot paths in testing.B benchmarks.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dvvset"
+)
+
+// renderState prints a mechanism state in the paper's notation for the
+// figure tables.
+func renderState(st core.State) string {
+	switch s := st.(type) {
+	case core.DVVState:
+		out := ""
+		for i, v := range s {
+			if i > 0 {
+				out += " || "
+			}
+			out += v.Clock.String()
+		}
+		if out == "" {
+			return "∅"
+		}
+		return out
+	case core.VVState:
+		out := ""
+		for i, v := range s {
+			if i > 0 {
+				out += " || "
+			}
+			out += v.Tag.String()
+		}
+		if out == "" {
+			return "∅"
+		}
+		return out
+	case core.HistState:
+		out := ""
+		for i, v := range s {
+			if i > 0 {
+				out += " || "
+			}
+			out += v.H.String()
+		}
+		if out == "" {
+			return "∅"
+		}
+		return out
+	case *dvvset.Set[[]byte]:
+		return s.String()
+	default:
+		return fmt.Sprintf("%v", st)
+	}
+}
+
+// valuesOf lists the sibling values of a state under m.
+func valuesOf(m core.Mechanism, st core.State) []string {
+	rr := m.Read(st)
+	out := make([]string, len(rr.Values))
+	for i, v := range rr.Values {
+		out[i] = string(v)
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func atoiCell(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q not an int: %v", s, err)
+	}
+	return n
+}
+
+func TestFigure1TableShape(t *testing.T) {
+	tb := RunFigure1()
+	if len(tb.Rows) != len(figure1Steps) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(figure1Steps))
+	}
+	// Row 2 (after the race): causal histories and DVV keep two versions
+	// ("||"), server VV holds one.
+	raceRow := tb.Rows[2]
+	if !strings.Contains(raceRow[1], "||") {
+		t.Fatalf("causal histories lost the race: %q", raceRow[1])
+	}
+	if strings.Contains(raceRow[2], "||") {
+		t.Fatalf("server VV should have (wrongly) collapsed the race: %q", raceRow[2])
+	}
+	if !strings.Contains(raceRow[3], "||") {
+		t.Fatalf("DVV lost the race: %q", raceRow[3])
+	}
+	// The DVV cell must show the paper's detached-dot siblings.
+	if !strings.Contains(raceRow[3], "(A,3)") || !strings.Contains(raceRow[3], "(A,2)") {
+		t.Fatalf("DVV race cell = %q, want (A,2) and (A,3)", raceRow[3])
+	}
+	// Final row: every mechanism converges to a single version.
+	final := tb.Rows[len(tb.Rows)-1]
+	for i := 1; i < len(final); i++ {
+		if strings.Contains(final[i], "||") {
+			t.Fatalf("column %d did not converge: %q", i, final[i])
+		}
+	}
+}
+
+func TestFigure1VerdictTable(t *testing.T) {
+	tb := Figure1Verdict()
+	got := map[string]string{}
+	lost := map[string]string{}
+	for _, row := range tb.Rows {
+		got[row[0]] = row[3]
+		lost[row[0]] = row[2]
+	}
+	for _, precise := range []string{"oracle", "dvv", "dvvset", "clientvv", "vve"} {
+		if got[precise] != "yes" {
+			t.Errorf("%s should be precise: %v", precise, got[precise])
+		}
+	}
+	if got["servervv"] != "NO" || lost["servervv"] != "w2" {
+		t.Errorf("servervv verdict = %v lost=%v, want NO/w2", got["servervv"], lost["servervv"])
+	}
+}
+
+func TestCompareCostShape(t *testing.T) {
+	tb := RunCompareCost(CompareConfig{Sizes: []int{1, 512}, Iters: 2000})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	parse := func(s string) float64 {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return f
+	}
+	dvvSmall, dvvBig := parse(tb.Rows[0][1]), parse(tb.Rows[1][1])
+	vvSmall, vvBig := parse(tb.Rows[0][2]), parse(tb.Rows[1][2])
+	// DVV cost must stay flat (allow noise ×8); VV cost must grow with
+	// width (512 entries ≫ 1 entry → at least 4×).
+	if dvvBig > dvvSmall*8+50 {
+		t.Errorf("DVV compare not O(1): %.1fns -> %.1fns", dvvSmall, dvvBig)
+	}
+	if vvBig < vvSmall*4 {
+		t.Errorf("VV compare did not grow with width: %.1fns -> %.1fns", vvSmall, vvBig)
+	}
+}
+
+func TestMetadataSweepShape(t *testing.T) {
+	cfg := MetadataConfig{
+		ClientCounts: []int{2, 64},
+		Replicas:     3, OpsPerClient: 8, PStale: 0.4, Seed: 42,
+	}
+	tb := RunMetadataSweep(cfg)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// columns: clients, dvv, dvvset, clientvv, servervv, oracle, siblings
+	dvvSmall := atoiCell(t, tb.Rows[0][1])
+	dvvBig := atoiCell(t, tb.Rows[1][1])
+	cvSmall := atoiCell(t, tb.Rows[0][3])
+	cvBig := atoiCell(t, tb.Rows[1][3])
+	if cvBig < 3*cvSmall {
+		t.Errorf("client-VV metadata did not grow: %d -> %d", cvSmall, cvBig)
+	}
+	if dvvBig > 4*dvvSmall {
+		t.Errorf("DVV metadata grew with clients: %d -> %d", dvvSmall, dvvBig)
+	}
+	if cvBig < 2*dvvBig {
+		t.Errorf("expected client-VV ≫ DVV at 64 clients: %d vs %d", cvBig, dvvBig)
+	}
+}
+
+func TestSiblingSweepPreciseAgree(t *testing.T) {
+	cfg := MetadataConfig{ClientCounts: []int{16}, Replicas: 3, OpsPerClient: 8, PStale: 0.5, Seed: 9}
+	tb := RunSiblingSweep(cfg)
+	row := tb.Rows[0]
+	// dvv, dvvset, clientvv, oracle must agree; servervv must not exceed.
+	dvv := atoiCell(t, row[1])
+	dvvset := atoiCell(t, row[2])
+	clientvv := atoiCell(t, row[3])
+	servervv := atoiCell(t, row[4])
+	orc := atoiCell(t, row[5])
+	if dvv != orc || dvvset != orc || clientvv != orc {
+		t.Errorf("precise mechanisms disagree with oracle: %v", row)
+	}
+	if servervv > orc {
+		t.Errorf("servervv has MORE siblings than oracle: %v", row)
+	}
+}
+
+func TestPruningSafetyShape(t *testing.T) {
+	cfg := PruningConfig{
+		Caps: []int{2}, Clients: 32, Replicas: 3, Ops: 300, PStale: 0.5,
+		Trials: 3, Seed: 1000,
+	}
+	tb := RunPruningSafety(cfg)
+	// rows: prunedvv-2, clientvv, dvv
+	byName := map[string][]string{}
+	for _, r := range tb.Rows {
+		byName[r[0]] = r
+	}
+	pruned := byName["prunedvv-2"]
+	if pruned == nil {
+		t.Fatalf("missing pruned row: %v", tb.Rows)
+	}
+	if atoiCell(t, pruned[1])+atoiCell(t, pruned[2]) == 0 {
+		t.Error("pruning produced no anomalies")
+	}
+	for _, clean := range []string{"clientvv", "dvv"} {
+		r := byName[clean]
+		if r == nil {
+			t.Fatalf("missing %s row", clean)
+		}
+		if atoiCell(t, r[1]) != 0 || atoiCell(t, r[2]) != 0 {
+			t.Errorf("%s should be anomaly-free: %v", clean, r)
+		}
+	}
+}
+
+func TestDVVSetAblationShape(t *testing.T) {
+	tb := RunDVVSetAblation(AblationConfig{SiblingTargets: []int{1, 16}, Replicas: 3, Seed: 77})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// At 16 siblings the compact form must be much smaller.
+	dvvB := atoiCell(t, tb.Rows[1][1])
+	setB := atoiCell(t, tb.Rows[1][2])
+	if setB >= dvvB {
+		t.Errorf("dvvset not smaller at 16 siblings: dvv=%d dvvset=%d", dvvB, setB)
+	}
+}
+
+func TestAblationTraceRuns(t *testing.T) {
+	tb := RunAblationTrace(AblationConfig{Replicas: 3, Seed: 77})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestRiakExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	cfg := DefaultRiakConfig()
+	cfg.Ops = 400
+	cfg.Clients = 8
+	cfg.Keys = 20
+	cfg.Base = 50 * time.Microsecond
+	cfg.Jitter = 20 * time.Microsecond
+	results, tb, err := RunRiak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || len(tb.Rows) != 4 {
+		t.Fatalf("results = %d rows = %d", len(results), len(tb.Rows))
+	}
+	var dvvRes, cvRes *RiakResult
+	for i := range results {
+		switch results[i].Mechanism {
+		case "dvv":
+			dvvRes = &results[i]
+		case "clientvv":
+			cvRes = &results[i]
+		}
+	}
+	if dvvRes == nil || cvRes == nil {
+		t.Fatal("missing mechanisms in results")
+	}
+	if dvvRes.Errors > cfg.Ops/10 || cvRes.Errors > cfg.Ops/10 {
+		t.Fatalf("too many errors: dvv=%d clientvv=%d", dvvRes.Errors, cvRes.Errors)
+	}
+	if dvvRes.GetLatency.Count() == 0 || dvvRes.PutLatency.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+	// The paper's shape: DVV carries less metadata than client-VV under
+	// racing writers.
+	if dvvRes.MetadataBytes >= cvRes.MetadataBytes {
+		t.Errorf("DVV metadata %d ≥ client-VV %d — shape violated",
+			dvvRes.MetadataBytes, cvRes.MetadataBytes)
+	}
+}

@@ -1,0 +1,272 @@
+// Package stats provides the measurement plumbing for the benchmark
+// harness: latency histograms with percentile extraction, running scalar
+// summaries, and plain-text table/CSV rendering for the experiment output
+// (the repository's stand-in for the paper's tables and figures).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram. Buckets grow by ~10% per
+// step, covering 1ns to ~5min with a few hundred buckets. The zero value
+// is ready to use. Histogram is not safe for concurrent use; aggregate
+// per-goroutine histograms with Merge.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    time.Duration
+	max    time.Duration
+}
+
+// bucketGrowth is the per-bucket multiplicative step. 1.1 gives ≤5%
+// worst-case quantile error, plenty for shape comparisons.
+const bucketGrowth = 1.1
+
+var bucketLog = math.Log(bucketGrowth)
+
+func bucketOf(d time.Duration) int {
+	if d < 1 {
+		return 0
+	}
+	return int(math.Log(float64(d)) / bucketLog)
+}
+
+func bucketUpper(i int) time.Duration {
+	return time.Duration(math.Exp(float64(i+1) * bucketLog))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	b := bucketOf(d)
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += float64(d)
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// Min and Max return the extreme samples (0 if empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with bucket resolution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.total))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		if acc > target {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Merge folds o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.total == 0 {
+		return
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Summary renders count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.total, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.max.Round(time.Microsecond))
+}
+
+// ---------------------------------------------------------------------------
+// Scalar series.
+// ---------------------------------------------------------------------------
+
+// Summary accumulates a scalar series (metadata bytes, sibling counts).
+// The zero value is ready to use.
+type Summary struct {
+	n        uint64
+	sum, max float64
+	min      float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.n++
+	s.sum += v
+	if s.n == 1 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 { return s.max }
+
+// ---------------------------------------------------------------------------
+// Table rendering.
+// ---------------------------------------------------------------------------
+
+// Table is a simple aligned-text table with an optional title, rendered
+// monospace for experiment output, or as CSV for plotting.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, hsz := range t.Headers {
+		widths[i] = len(hsz)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for the numeric/identifier cells the harness produces).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 19*time.Millisecond || mean > 21*time.Millisecond {
+		t.Fatalf("Mean = %v", mean)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		// log-bucketed: allow ±12% error
+		lo := time.Duration(float64(c.want) * 0.88)
+		hi := time.Duration(float64(c.want) * 1.12)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("extreme quantiles should be min/max")
+	}
+}
+
+func TestHistogramQuantileNeverExceedsMax(t *testing.T) {
+	var h Histogram
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		h.Observe(time.Duration(r.Intn(1e9)))
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if got := h.Quantile(q); got > h.Max() || (q > 0 && got < h.Min()) {
+			t.Fatalf("Quantile(%v) = %v outside [min,max]", q, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != time.Second {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty) // merging empty is a no-op
+	if a.Count() != 200 {
+		t.Fatal("merge of empty changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 200 || empty.Min() != time.Millisecond {
+		t.Fatal("merge into empty lost state")
+	}
+}
+
+func TestHistogramSummaryFormat(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Summary()
+	for _, frag := range []string{"n=1", "mean=", "p50=", "p99="} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Summary %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestSummaryScalar(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Fatal("zero Summary not empty")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		s.Add(v)
+	}
+	if s.N() != 3 || s.Mean() != 4 || s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("summary = n%d mean%v min%v max%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "mech", "bytes", "ratio")
+	tb.AddRow("dvv", 42, 1.0)
+	tb.AddRow("clientvv", 420, 10.5)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Figure X\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+header+sep+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d: %q", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "clientvv") || !strings.Contains(out, "10.50") {
+		t.Fatalf("missing cells: %q", out)
+	}
+	// integral floats render without decimals
+	if !strings.Contains(out, " 1 ") && !strings.HasSuffix(lines[len(lines)-2], "1") {
+		t.Logf("table:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, 2)
+	tb.AddRow("x", "y")
+	want := "a,b\n1,2\nx,y\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3.0) != "3" {
+		t.Fatalf("trimFloat(3.0) = %q", trimFloat(3.0))
+	}
+	if trimFloat(3.14159) != "3.14" {
+		t.Fatalf("trimFloat(pi) = %q", trimFloat(3.14159))
+	}
+}

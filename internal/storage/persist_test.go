@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+)
+
+func TestSaveLoadThroughFile(t *testing.T) {
+	// Durability path end-to-end: write a populated store to a real file,
+	// load it into a fresh store, and keep operating on it.
+	m := core.NewDVV()
+	s := New(m)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key-%02d", i)
+		_, err := s.Put(key, m.EmptyContext(), []byte(fmt.Sprintf("v%d", i)),
+			core.WriteInfo{Server: "S1", Client: dot.ID(fmt.Sprintf("c%d", i%4))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fork a sibling on every third key.
+		if i%3 == 0 {
+			if _, err := s.Put(key, m.EmptyContext(), []byte("fork"),
+				core.WriteInfo{Server: "S2", Client: "forker"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "store.dvv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	restored := New(m)
+	if err := restored.Load(f2); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(restored.Keys(), s.Keys()) {
+		t.Fatalf("keys = %v, want %v", restored.Keys(), s.Keys())
+	}
+	for _, k := range s.Keys() {
+		a, _ := s.Get(k)
+		b, _ := restored.Get(k)
+		if !reflect.DeepEqual(vals(a), vals(b)) {
+			t.Fatalf("key %s: %v != %v", k, vals(a), vals(b))
+		}
+	}
+	// The restored store keeps working: a context-carrying overwrite
+	// dominates restored siblings.
+	rr, _ := restored.Get("key-00")
+	after, err := restored.Put("key-00", rr.Ctx, []byte("post-restore"),
+		core.WriteInfo{Server: "S1", Client: "c9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vals(after), []string{"post-restore"}) {
+		t.Fatalf("post-restore put = %v", vals(after))
+	}
+}
+
+func TestLoadEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.dvv")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := New(core.NewDVV())
+	if err := s.Load(f); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,252 @@
+// Package storage implements the replica-local multi-version store: every
+// key holds a mechanism-owned sibling state (concurrent versions plus their
+// causal metadata). The store is mechanism-generic — the same engine backs
+// a DVV replica, a client-VV replica or the causal-history oracle — and is
+// safe for concurrent use by the replica server's request handlers and
+// anti-entropy loop.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Store is a replica's local key-value state under one mechanism.
+type Store struct {
+	mech core.Mechanism
+
+	mu   sync.RWMutex
+	data map[string]core.State
+
+	// statistics (guarded by mu)
+	puts, gets, syncs uint64
+}
+
+// New creates an empty store for the given mechanism.
+func New(mech core.Mechanism) *Store {
+	return &Store{mech: mech, data: make(map[string]core.State)}
+}
+
+// Mechanism returns the store's causality mechanism.
+func (s *Store) Mechanism() core.Mechanism { return s.mech }
+
+// Get returns the sibling values and causal context for key. Missing keys
+// return ok=false with an empty-context read result.
+func (s *Store) Get(key string) (core.ReadResult, bool) {
+	s.mu.RLock()
+	st, ok := s.data[key]
+	s.mu.RUnlock()
+	s.count(&s.gets)
+	if !ok {
+		return core.ReadResult{Ctx: s.mech.EmptyContext()}, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mech.Read(st), true
+}
+
+// Put applies a client write to key and returns the post-write read result
+// (values surviving plus the new context — what the server hands back to
+// the client, Riak's return_body).
+func (s *Store) Put(key string, ctx core.Context, value []byte, w core.WriteInfo) (core.ReadResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.data[key]
+	if !ok {
+		st = s.mech.NewState()
+	}
+	ns, err := s.mech.Put(st, ctx, value, w)
+	if err != nil {
+		return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
+	}
+	s.data[key] = ns
+	s.puts++
+	return s.mech.Read(ns), nil
+}
+
+// SyncKey merges a remote state for key into the local one (replication
+// and anti-entropy ingest path).
+func (s *Store) SyncKey(key string, remote core.State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.data[key]
+	if !ok {
+		st = s.mech.NewState()
+	}
+	s.data[key] = s.mech.Sync(st, remote)
+	s.syncs++
+}
+
+// Snapshot returns an independent deep copy of key's state and whether the
+// key exists.
+func (s *Store) Snapshot(key string) (core.State, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	return s.mech.CloneState(st), true
+}
+
+// Keys returns all keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// MetadataBytes returns the encoded causal metadata size for key (0 if
+// missing).
+func (s *Store) MetadataBytes(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.data[key]
+	if !ok {
+		return 0
+	}
+	return s.mech.MetadataBytes(st)
+}
+
+// TotalMetadataBytes sums metadata across all keys.
+func (s *Store) TotalMetadataBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, st := range s.data {
+		total += s.mech.MetadataBytes(st)
+	}
+	return total
+}
+
+// Siblings returns the sibling count for key (0 if missing).
+func (s *Store) Siblings(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.data[key]
+	if !ok {
+		return 0
+	}
+	return s.mech.Siblings(st)
+}
+
+// KeyHash returns a stable hash of key's encoded state, used by
+// anti-entropy to detect replica divergence cheaply. Missing keys hash to
+// 0.
+func (s *Store) KeyHash(key string) uint64 {
+	s.mu.RLock()
+	st, ok := s.data[key]
+	if !ok {
+		s.mu.RUnlock()
+		return 0
+	}
+	w := codec.NewWriter(128)
+	s.mech.EncodeState(w, st)
+	s.mu.RUnlock()
+	h := fnv.New64a()
+	h.Write(w.Bytes())
+	return h.Sum64()
+}
+
+// EncodeKey appends key's state to w; reports whether the key existed.
+func (s *Store) EncodeKey(key string, w *codec.Writer) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.data[key]
+	if !ok {
+		return false
+	}
+	s.mech.EncodeState(w, st)
+	return true
+}
+
+// Stats reports operation counters.
+type Stats struct {
+	Puts, Gets, Syncs uint64
+	Keys              int
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Puts: s.puts, Gets: s.gets, Syncs: s.syncs, Keys: len(s.data)}
+}
+
+func (s *Store) count(c *uint64) {
+	s.mu.Lock()
+	*c++
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: length-framed (key, state) records.
+// ---------------------------------------------------------------------------
+
+// Save writes the whole store to w as framed records.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cw := codec.NewWriter(256)
+		cw.String(k)
+		s.mech.EncodeState(cw, s.data[k])
+		if err := codec.WriteFrame(w, cw.Bytes()); err != nil {
+			return fmt.Errorf("storage: save %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Load replaces the store's content with records read from r until EOF.
+func (s *Store) Load(r io.Reader) error {
+	data := make(map[string]core.State)
+	for {
+		frame, err := codec.ReadFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				break // clean end at a frame boundary
+			}
+			return fmt.Errorf("storage: load: %w", err)
+		}
+		cr := codec.NewReader(frame)
+		key := cr.String()
+		st, err := s.mech.DecodeState(cr)
+		if err != nil {
+			return fmt.Errorf("storage: load key %q: %w", key, err)
+		}
+		cr.ExpectEOF()
+		if cr.Err() != nil {
+			return fmt.Errorf("storage: load key %q: %w", key, cr.Err())
+		}
+		data[key] = st
+	}
+	s.mu.Lock()
+	s.data = data
+	s.mu.Unlock()
+	return nil
+}

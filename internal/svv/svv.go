@@ -1,0 +1,154 @@
+// Package svv implements a summarised version vector — the repository's
+// stand-in for the Wang & Amza ICDCS 2009 proposal the paper cites as
+// related work ("a variant of VV with O(1) comparison time, but VV entries
+// must be kept ordered, leading to non constant time for other
+// operations").
+//
+// Each vector carries its event total (Σ counters) as a scalar summary.
+// Because every entry is monotone, for two *related* vectors the totals
+// order exactly as the vectors do, giving:
+//
+//   - O(1) strict-dominance rejection: total(a) ≤ total(b) ⇒ a cannot
+//     strictly dominate b;
+//   - O(1) equality via totals plus a canonical fingerprint;
+//   - O(n) fallback only when the summary is inconclusive (concurrent
+//     vectors with close totals).
+//
+// As the paper notes, the scheme inherits every semantic limitation of
+// plain version vectors — with one entry per server it still falsely orders
+// concurrent client writes; the summary only accelerates comparisons. The
+// comparison benchmark (experiment C1) measures exactly this trade-off.
+package svv
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/dot"
+	"repro/internal/vv"
+)
+
+// SVV is a version vector with a maintained scalar summary. Construct with
+// New or FromVV; the zero value is the empty vector.
+type SVV struct {
+	entries vv.VV
+	total   uint64
+}
+
+// New returns an empty summarised vector.
+func New() *SVV { return &SVV{entries: vv.New()} }
+
+// FromVV wraps a copy of v with its summary.
+func FromVV(v vv.VV) *SVV {
+	return &SVV{entries: v.Clone(), total: v.Total()}
+}
+
+// VV returns a copy of the underlying plain vector.
+func (s *SVV) VV() vv.VV { return s.entries.Clone() }
+
+// Total returns the scalar summary (number of events in the history).
+func (s *SVV) Total() uint64 { return s.total }
+
+// Get returns the counter for id.
+func (s *SVV) Get(id dot.ID) uint64 { return s.entries.Get(id) }
+
+// Len returns the number of entries.
+func (s *SVV) Len() int { return s.entries.Len() }
+
+// Inc increments id's counter, maintaining the summary, and returns the
+// new event's dot. Cost is O(1).
+func (s *SVV) Inc(id dot.ID) dot.Dot {
+	d := s.entries.IncInPlace(id)
+	s.total++
+	return d
+}
+
+// Merge folds o into s pointwise-max, recomputing the summary. Cost is
+// O(len(o)) for the fold plus O(len(s)) to refresh the total — the "non
+// constant time for other operations" the paper mentions.
+func (s *SVV) Merge(o *SVV) {
+	s.entries.Merge(o.entries)
+	s.total = s.entries.Total()
+}
+
+// Clone returns an independent copy.
+func (s *SVV) Clone() *SVV {
+	return &SVV{entries: s.entries.Clone(), total: s.total}
+}
+
+// Descends reports s ≥ o. The summary gives an O(1) rejection: if
+// s.total < o.total, s cannot contain o's history. Equal totals with equal
+// fingerprints short-circuit to true. Otherwise falls back to the O(n)
+// pointwise check.
+func (s *SVV) Descends(o *SVV) bool {
+	if s.total < o.total {
+		return false
+	}
+	if s.total == o.total {
+		// Same event count: descends ⇔ identical.
+		return s.fingerprint() == o.fingerprint()
+	}
+	return s.entries.Descends(o.entries)
+}
+
+// Compare classifies the relation between s and o using the summary first.
+func (s *SVV) Compare(o *SVV) vv.Ordering {
+	switch {
+	case s.total == o.total:
+		if s.fingerprint() == o.fingerprint() && s.entries.Equal(o.entries) {
+			return vv.Equal
+		}
+		return vv.ConcurrentOrder // equal totals, different vectors
+	case s.total < o.total:
+		if o.entries.Descends(s.entries) {
+			return vv.Before
+		}
+		return vv.ConcurrentOrder
+	default:
+		if s.entries.Descends(o.entries) {
+			return vv.After
+		}
+		return vv.ConcurrentOrder
+	}
+}
+
+// fingerprint hashes the canonical (sorted) entry list. Two vectors with
+// the same fingerprint and total are equal with overwhelming probability;
+// Compare still confirms with the exact check before reporting Equal.
+func (s *SVV) fingerprint() uint64 {
+	ids := make([]dot.ID, 0, s.entries.Len())
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, id := range ids {
+		h.Write([]byte(id))
+		n := s.entries.Get(id)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// String renders the underlying vector plus the summary, e.g. "{A:2}#2".
+func (s *SVV) String() string {
+	return s.entries.String() + "#" + uitoa(s.total)
+}
+
+func uitoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,112 @@
+package svv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dot"
+	"repro/internal/vv"
+)
+
+func TestIncMaintainsSummary(t *testing.T) {
+	s := New()
+	d1 := s.Inc("A")
+	d2 := s.Inc("A")
+	d3 := s.Inc("B")
+	if d1 != dot.New("A", 1) || d2 != dot.New("A", 2) || d3 != dot.New("B", 1) {
+		t.Fatalf("dots: %v %v %v", d1, d2, d3)
+	}
+	if s.Total() != 3 || s.Len() != 2 {
+		t.Fatalf("Total=%d Len=%d", s.Total(), s.Len())
+	}
+}
+
+func TestMergeMaintainsSummary(t *testing.T) {
+	a := FromVV(vv.From("A", 2, "B", 1))
+	b := FromVV(vv.From("B", 3, "C", 1))
+	a.Merge(b)
+	if a.Total() != 6 { // {A:2,B:3,C:1}
+		t.Fatalf("Total = %d", a.Total())
+	}
+	if !a.VV().Equal(vv.From("A", 2, "B", 3, "C", 1)) {
+		t.Fatalf("entries = %v", a.VV())
+	}
+}
+
+func TestCompareMatchesPlainVV(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	randVV := func() vv.VV {
+		v := vv.New()
+		for _, id := range []dot.ID{"A", "B", "C", "D"} {
+			if n := r.Intn(4); n > 0 {
+				v[id] = uint64(n)
+			}
+		}
+		return v
+	}
+	for i := 0; i < 1000; i++ {
+		va, vb := randVV(), randVV()
+		sa, sb := FromVV(va), FromVV(vb)
+		if got, want := sa.Compare(sb), va.Compare(vb); got != want {
+			t.Fatalf("Compare(%v,%v) = %v, plain VV says %v", sa, sb, got, want)
+		}
+		if got, want := sa.Descends(sb), va.Descends(vb); got != want {
+			t.Fatalf("Descends(%v,%v) = %v, plain VV says %v", sa, sb, got, want)
+		}
+	}
+}
+
+func TestSummaryFastPathRejects(t *testing.T) {
+	// total(a) < total(b) must reject descent without touching entries.
+	a := FromVV(vv.From("A", 1))
+	b := FromVV(vv.From("B", 5))
+	if a.Descends(b) {
+		t.Fatal("a should not descend b")
+	}
+}
+
+func TestEqualTotalsDifferentVectors(t *testing.T) {
+	a := FromVV(vv.From("A", 2, "B", 1))
+	b := FromVV(vv.From("A", 1, "B", 2))
+	if a.Compare(b) != vv.ConcurrentOrder {
+		t.Fatalf("Compare = %v, want concurrent", a.Compare(b))
+	}
+	if a.Descends(b) || b.Descends(a) {
+		t.Fatal("false descent between concurrent vectors")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromVV(vv.From("A", 1))
+	b := a.Clone()
+	b.Inc("A")
+	if a.Total() != 1 || a.Get("A") != 1 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestVVReturnsCopy(t *testing.T) {
+	a := FromVV(vv.From("A", 1))
+	v := a.VV()
+	v.Set("A", 9)
+	if a.Get("A") != 1 {
+		t.Fatal("VV() aliased internal storage")
+	}
+}
+
+func TestStringIncludesSummary(t *testing.T) {
+	a := FromVV(vv.From("A", 2))
+	if got := a.String(); got != "{A:2}#2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestZeroishEmpty(t *testing.T) {
+	s := New()
+	if s.Total() != 0 || s.Len() != 0 {
+		t.Fatal("New not empty")
+	}
+	if s.Compare(New()) != vv.Equal {
+		t.Fatal("two empties must be equal")
+	}
+}

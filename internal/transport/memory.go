@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dot"
+)
+
+// LatencyModel samples one-way message delays. Implementations must be
+// safe for concurrent use.
+type LatencyModel interface {
+	Sample(r *rand.Rand, payloadBytes int) time.Duration
+}
+
+// FixedLatency returns Base plus PerByte × payload size, with ±Jitter
+// uniform noise — the simple model used by the latency experiments: the
+// per-byte term is what turns metadata bloat into measurable delay.
+type FixedLatency struct {
+	Base    time.Duration
+	Jitter  time.Duration
+	PerByte time.Duration
+}
+
+// Sample draws one delay.
+func (f FixedLatency) Sample(r *rand.Rand, payloadBytes int) time.Duration {
+	d := f.Base + time.Duration(payloadBytes)*f.PerByte
+	if f.Jitter > 0 {
+		d += time.Duration(r.Int63n(int64(2*f.Jitter))) - f.Jitter
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// MemoryConfig parameterises the simulated network.
+type MemoryConfig struct {
+	// Latency models the one-way delay; nil means deliver immediately.
+	Latency LatencyModel
+	// DropRate is the probability a request or response is lost
+	// (ErrUnreachable after a timeout-free failure).
+	DropRate float64
+	// Seed makes the simulation reproducible.
+	Seed int64
+	// Synthetic, when true, does not actually sleep: delays are only
+	// accounted in the Clock. Benchmarks measuring wall time keep this
+	// false; large sweeps set it to run at full speed.
+	Synthetic bool
+}
+
+// Memory is the in-process simulated network.
+type Memory struct {
+	cfg MemoryConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	handlers  map[dot.ID]Handler
+	cut       map[[2]dot.ID]bool // severed pairs (both directions stored)
+	closed    bool
+	bytesSent uint64
+	msgsSent  uint64
+	simClock  time.Duration // accumulated synthetic delay
+}
+
+// NewMemory creates a simulated network.
+func NewMemory(cfg MemoryConfig) *Memory {
+	return &Memory{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: make(map[dot.ID]Handler),
+		cut:      make(map[[2]dot.ID]bool),
+	}
+}
+
+// Register installs a node handler.
+func (m *Memory) Register(id dot.ID, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[id] = h
+}
+
+// Partition severs communication between a and b (both directions).
+func (m *Memory) Partition(a, b dot.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut[[2]dot.ID{a, b}] = true
+	m.cut[[2]dot.ID{b, a}] = true
+}
+
+// Heal restores communication between a and b.
+func (m *Memory) Heal(a, b dot.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cut, [2]dot.ID{a, b})
+	delete(m.cut, [2]dot.ID{b, a})
+}
+
+// HealAll removes every partition.
+func (m *Memory) HealAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut = make(map[[2]dot.ID]bool)
+}
+
+// BytesSent returns the cumulative payload bytes accepted for delivery —
+// the wire-traffic measure used by the metadata experiments.
+func (m *Memory) BytesSent() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesSent
+}
+
+// MessagesSent returns the number of requests accepted for delivery.
+func (m *Memory) MessagesSent() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.msgsSent
+}
+
+// SimClock returns the total synthetic delay accumulated in Synthetic
+// mode (an aggregate, not a per-path critical path).
+func (m *Memory) SimClock() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.simClock
+}
+
+// Close shuts the network down.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// admit does the bookkeeping for one directed message and returns the
+// handler, the sampled delay, and whether the message goes through.
+// needHandler is false on the response path: the originator (often a
+// client) has no registered handler.
+func (m *Memory) admit(from, to dot.ID, payload int, needHandler bool) (Handler, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, 0, ErrClosed
+	}
+	if m.cut[[2]dot.ID{from, to}] {
+		return nil, 0, ErrUnreachable
+	}
+	h, ok := m.handlers[to]
+	if needHandler && !ok {
+		return nil, 0, ErrUnreachable
+	}
+	if m.cfg.DropRate > 0 && m.rng.Float64() < m.cfg.DropRate {
+		return nil, 0, ErrUnreachable
+	}
+	var delay time.Duration
+	if m.cfg.Latency != nil {
+		delay = m.cfg.Latency.Sample(m.rng, payload)
+	}
+	m.msgsSent++
+	m.bytesSent += uint64(payload)
+	if m.cfg.Synthetic {
+		m.simClock += delay
+	}
+	return h, delay, nil
+}
+
+func (m *Memory) wait(ctx context.Context, d time.Duration) error {
+	if d <= 0 || m.cfg.Synthetic {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Send delivers the request, waits the sampled request and response
+// delays, and returns the handler's response.
+func (m *Memory) Send(ctx context.Context, from, to dot.ID, req Request) (Response, error) {
+	h, d1, err := m.admit(from, to, len(req.Body)+len(req.Method), true)
+	if err != nil {
+		return Response{}, err
+	}
+	if err := m.wait(ctx, d1); err != nil {
+		return Response{}, err
+	}
+	resp := h(ctx, from, req)
+	_, d2, err := m.admit(to, from, len(resp.Body), false)
+	if err != nil {
+		return Response{}, err
+	}
+	if err := m.wait(ctx, d2); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+var _ Transport = (*Memory)(nil)

@@ -1,0 +1,274 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dot"
+)
+
+// TCP is a real-network transport: length-framed binary request/response
+// over TCP connections. Each node runs a listener; outgoing connections
+// are pooled per destination. Frame layout (via internal/codec):
+//
+//	request:  from string, method string, body bytes
+//	response: err string, body bytes
+type TCP struct {
+	self   dot.ID
+	mu     sync.Mutex
+	addrs  map[dot.ID]string
+	pool   map[dot.ID][]net.Conn
+	active map[net.Conn]struct{} // accepted connections, closed on shutdown
+	ln     net.Listener
+	h      Handler
+	wg     sync.WaitGroup
+	done   chan struct{}
+	close  sync.Once
+}
+
+// maxIdlePerPeer bounds the connection pool per destination.
+const maxIdlePerPeer = 4
+
+// NewTCP creates a TCP transport for node self. addrs maps every node id
+// (including self) to its host:port. Call Listen to start serving.
+func NewTCP(self dot.ID, addrs map[dot.ID]string) *TCP {
+	cp := make(map[dot.ID]string, len(addrs))
+	for id, a := range addrs {
+		cp[id] = a
+	}
+	return &TCP{
+		self:   self,
+		addrs:  cp,
+		pool:   make(map[dot.ID][]net.Conn),
+		active: make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Register installs the handler served by Listen. The single-node TCP
+// transport ignores ids other than its own.
+func (t *TCP) Register(id dot.ID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id == t.self {
+		t.h = h
+	}
+}
+
+// Listen binds the node's address and serves requests until Close. It
+// returns once the listener is active.
+func (t *TCP) Listen() error {
+	t.mu.Lock()
+	addr, ok := t.addrs[t.self]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no address for self %q", t.self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.ln = ln
+	// If the address had port 0, record the assigned one.
+	t.addrs[t.self] = ln.Addr().String()
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (after Listen).
+func (t *TCP) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[t.self]
+}
+
+// SetAddr records or updates a peer's address.
+func (t *TCP) SetAddr(id dot.ID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+}
+
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			// Transient accept errors: back off briefly.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCP) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	t.mu.Lock()
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		return
+	default:
+	}
+	t.active[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.active, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		frame, err := codec.ReadFrame(conn)
+		if err != nil {
+			return // connection closed or corrupt; drop it
+		}
+		r := codec.NewReader(frame)
+		from := dot.ID(r.String())
+		method := r.String()
+		body := r.BytesField()
+		if r.Err() != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.h
+		t.mu.Unlock()
+		var resp Response
+		if h == nil {
+			resp = Response{Err: "no handler registered"}
+		} else {
+			resp = h(context.Background(), from, Request{Method: method, Body: body})
+		}
+		w := codec.NewWriter(16 + len(resp.Body))
+		w.String(resp.Err)
+		w.BytesField(resp.Body)
+		if err := codec.WriteFrame(conn, w.Bytes()); err != nil {
+			return
+		}
+	}
+}
+
+func (t *TCP) getConn(to dot.ID) (net.Conn, error) {
+	t.mu.Lock()
+	if conns := t.pool[to]; len(conns) > 0 {
+		c := conns[len(conns)-1]
+		t.pool[to] = conns[:len(conns)-1]
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no address for %q", ErrUnreachable, to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
+	}
+	return c, nil
+}
+
+func (t *TCP) putConn(to dot.ID, c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.done:
+		c.Close()
+		return
+	default:
+	}
+	if len(t.pool[to]) >= maxIdlePerPeer {
+		c.Close()
+		return
+	}
+	t.pool[to] = append(t.pool[to], c)
+}
+
+// Send performs one framed request/response exchange with `to`. The `from`
+// id is carried in the frame (the TCP transport does not authenticate it;
+// this is a research system).
+func (t *TCP) Send(ctx context.Context, from, to dot.ID, req Request) (Response, error) {
+	select {
+	case <-t.done:
+		return Response{}, ErrClosed
+	default:
+	}
+	conn, err := t.getConn(to)
+	if err != nil {
+		return Response{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	} else {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	w := codec.NewWriter(32 + len(req.Body))
+	w.String(string(from))
+	w.String(req.Method)
+	w.BytesField(req.Body)
+	if err := codec.WriteFrame(conn, w.Bytes()); err != nil {
+		conn.Close()
+		return Response{}, fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	frame, err := codec.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return Response{}, fmt.Errorf("transport: recv from %s: %w", to, err)
+	}
+	r := codec.NewReader(frame)
+	resp := Response{Err: r.String(), Body: r.BytesField()}
+	if r.Err() != nil {
+		conn.Close()
+		return Response{}, fmt.Errorf("transport: decode response from %s: %w", to, r.Err())
+	}
+	t.putConn(to, conn)
+	return resp, nil
+}
+
+// Close stops the listener, closes pooled connections and waits for
+// serving goroutines to finish.
+func (t *TCP) Close() error {
+	var err error
+	t.close.Do(func() {
+		close(t.done)
+		t.mu.Lock()
+		if t.ln != nil {
+			err = t.ln.Close()
+		}
+		for id, conns := range t.pool {
+			for _, c := range conns {
+				c.Close()
+			}
+			delete(t.pool, id)
+		}
+		// Unblock serveConn goroutines parked in ReadFrame on idle
+		// connections.
+		for c := range t.active {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+	})
+	return err
+}
+
+var _ Transport = (*TCP)(nil)

@@ -1,0 +1,66 @@
+// Package transport is the message layer between replica servers and
+// clients. Two interchangeable implementations back the same interface:
+//
+//   - Memory: an in-process simulated network with seeded latency
+//     distributions, per-byte transfer cost, message drops and partitions.
+//     The latency experiments (C3) run on it so that metadata size has a
+//     controlled, reproducible effect on request latency.
+//   - TCP: a real network transport (length-framed binary messages over
+//     net.Conn) used by cmd/dvvstore.
+//
+// Requests are (method, body) pairs; bodies are opaque mechanism-encoded
+// payloads produced with internal/codec.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/dot"
+)
+
+// Request is one RPC request.
+type Request struct {
+	Method string
+	Body   []byte
+}
+
+// Response is one RPC response. Err carries an application-level error
+// message (empty = success); transport-level failures surface as Go errors
+// from Send.
+type Response struct {
+	Err  string
+	Body []byte
+}
+
+// Handler serves requests addressed to a node. Handlers must be safe for
+// concurrent use.
+type Handler func(ctx context.Context, from dot.ID, req Request) Response
+
+// Transport delivers requests to named nodes.
+type Transport interface {
+	// Send delivers req to node `to` and waits for its response. The
+	// context bounds the whole exchange.
+	Send(ctx context.Context, from, to dot.ID, req Request) (Response, error)
+	// Register installs the handler for node id, replacing any previous
+	// registration.
+	Register(id dot.ID, h Handler)
+	// Close releases transport resources; in-flight Sends may fail.
+	Close() error
+}
+
+// ErrUnreachable reports that the destination is not registered, the
+// message was dropped, or a partition blocks the pair.
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
+// ErrClosed reports use of a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// AppError converts a Response into a Go error if it carries one.
+func AppError(r Response) error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("remote: %s", r.Err)
+}

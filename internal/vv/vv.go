@@ -1,0 +1,262 @@
+// Package vv implements plain version vectors (Parker et al. 1983).
+//
+// A version vector V maps node ids to event counters: V[i] = n encodes that
+// the events (i,1)..(i,n) are in the causal past represented by V. Version
+// vectors are both a baseline mechanism in their own right (with one entry
+// per server, or one entry per client) and the "causal past" half of a
+// dotted version vector.
+package vv
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dot"
+)
+
+// VV is a version vector. The zero value (nil map) is the empty vector and
+// is usable directly with every read-only method; mutating methods are
+// defined on the value returned by New or Clone, or use the functional
+// forms (Join, Inc) which never mutate their inputs.
+type VV map[dot.ID]uint64
+
+// New returns an empty, mutable version vector.
+func New() VV { return make(VV) }
+
+// From builds a vector from alternating (id, counter) pairs. It is intended
+// for tests and examples: From("A", 2, "B", 1) == {A:2, B:1}.
+func From(pairs ...any) VV {
+	if len(pairs)%2 != 0 {
+		panic("vv.From: odd number of arguments")
+	}
+	v := make(VV, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		id, ok := pairs[i].(string)
+		if !ok {
+			panic("vv.From: id must be a string")
+		}
+		switch n := pairs[i+1].(type) {
+		case int:
+			v[dot.ID(id)] = uint64(n)
+		case uint64:
+			v[dot.ID(id)] = n
+		default:
+			panic("vv.From: counter must be int or uint64")
+		}
+	}
+	return v
+}
+
+// Get returns the counter for id (0 if absent).
+func (v VV) Get(id dot.ID) uint64 { return v[id] }
+
+// Set records counter n for id, growing the map as needed, and returns v
+// for chaining. Setting 0 removes the entry so that vectors stay canonical
+// (no explicit zero entries).
+func (v VV) Set(id dot.ID, n uint64) VV {
+	if n == 0 {
+		delete(v, id)
+		return v
+	}
+	v[id] = n
+	return v
+}
+
+// Len returns the number of non-zero entries.
+func (v VV) Len() int { return len(v) }
+
+// IsEmpty reports whether the vector represents the empty causal history.
+func (v VV) IsEmpty() bool { return len(v) == 0 }
+
+// Clone returns an independent copy of v.
+func (v VV) Clone() VV {
+	c := make(VV, len(v))
+	for id, n := range v {
+		c[id] = n
+	}
+	return c
+}
+
+// Inc returns a copy of v with id's counter incremented, together with the
+// dot of the new event. v itself is not modified.
+func (v VV) Inc(id dot.ID) (VV, dot.Dot) {
+	c := v.Clone()
+	n := c[id] + 1
+	c[id] = n
+	return c, dot.New(id, n)
+}
+
+// IncInPlace increments id's counter in v and returns the new event's dot.
+func (v VV) IncInPlace(id dot.ID) dot.Dot {
+	n := v[id] + 1
+	v[id] = n
+	return dot.New(id, n)
+}
+
+// ContainsDot reports whether event d is in the causal history encoded by
+// v, i.e. d.Counter ≤ v[d.Node]. This is the O(1) set-membership test that
+// dotted version vectors exploit.
+func (v VV) ContainsDot(d dot.Dot) bool {
+	return d.Counter != 0 && d.Counter <= v[d.Node]
+}
+
+// Join merges a and b pointwise-max into a fresh vector (the least upper
+// bound in the version-vector lattice). Neither input is modified.
+func Join(a, b VV) VV {
+	c := make(VV, len(a)+len(b))
+	for id, n := range a {
+		c[id] = n
+	}
+	for id, n := range b {
+		if n > c[id] {
+			c[id] = n
+		}
+	}
+	return c
+}
+
+// Merge folds b into v in place (pointwise max) and returns v.
+func (v VV) Merge(b VV) VV {
+	for id, n := range b {
+		if n > v[id] {
+			v[id] = n
+		}
+	}
+	return v
+}
+
+// MergeDot folds a single dot into v in place: v[d.Node] = max(v[d.Node],
+// d.Counter). Note this *loses precision* when d is not contiguous with v —
+// exactly the approximation dotted version vectors avoid by keeping the dot
+// separate. Callers that need exactness must check contiguity themselves.
+func (v VV) MergeDot(d dot.Dot) VV {
+	if d.Counter > v[d.Node] {
+		v[d.Node] = d.Counter
+	}
+	return v
+}
+
+// Descends reports a ≥ b: every event in b's history is in a's
+// (∀ id: a[id] ≥ b[id]). Cost is O(len(b)).
+func (a VV) Descends(b VV) bool {
+	for id, n := range b {
+		if a[id] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// DominatesStrictly reports a > b (Descends and not equal).
+func (a VV) DominatesStrictly(b VV) bool {
+	return a.Descends(b) && !b.Descends(a)
+}
+
+// Equal reports pointwise equality.
+func (a VV) Equal(b VV) bool {
+	return a.Descends(b) && b.Descends(a)
+}
+
+// Concurrent reports a ∥ b: neither descends the other.
+func (a VV) Concurrent(b VV) bool {
+	return !a.Descends(b) && !b.Descends(a)
+}
+
+// Ordering is the outcome of comparing two causal pasts.
+type Ordering int
+
+// The four possible causal relations between two clocks.
+const (
+	Equal           Ordering = iota + 1 // identical histories
+	Before                              // receiver strictly precedes argument
+	After                               // receiver strictly follows argument
+	ConcurrentOrder                     // incomparable histories
+)
+
+// String names the ordering for diagnostics.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case ConcurrentOrder:
+		return "concurrent"
+	default:
+		return "invalid(" + strconv.Itoa(int(o)) + ")"
+	}
+}
+
+// Compare classifies the relation between a and b. Cost is O(len(a)+len(b)).
+func (a VV) Compare(b VV) Ordering {
+	ab, ba := a.Descends(b), b.Descends(a)
+	switch {
+	case ab && ba:
+		return Equal
+	case ab:
+		return After
+	case ba:
+		return Before
+	default:
+		return ConcurrentOrder
+	}
+}
+
+// IDs returns the ids with non-zero entries, sorted.
+func (v VV) IDs() []dot.ID {
+	ids := make([]dot.ID, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Dots enumerates every event identifier in the history encoded by v, in
+// deterministic order. The result has Σ v[id] elements — use only for
+// small vectors (tests, the causal-history oracle).
+func (v VV) Dots() []dot.Dot {
+	var total uint64
+	for _, n := range v {
+		total += n
+	}
+	out := make([]dot.Dot, 0, total)
+	for _, id := range v.IDs() {
+		for c := uint64(1); c <= v[id]; c++ {
+			out = append(out, dot.New(id, c))
+		}
+	}
+	return out
+}
+
+// Total returns the number of events in the encoded history (Σ counters).
+func (v VV) Total() uint64 {
+	var t uint64
+	for _, n := range v {
+		t += n
+	}
+	return t
+}
+
+// String renders the vector in the paper's bracketed notation with sorted
+// ids, e.g. "{A:2, B:1}". The empty vector renders as "{}".
+func (v VV) String() string {
+	if len(v) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range v.IDs() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(id))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(v[id], 10))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package vv
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dot"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var v VV // nil map
+	if !v.IsEmpty() || v.Len() != 0 {
+		t.Fatal("zero VV not empty")
+	}
+	if v.Get("A") != 0 {
+		t.Fatal("zero VV Get != 0")
+	}
+	if v.ContainsDot(dot.New("A", 1)) {
+		t.Fatal("zero VV contains a dot")
+	}
+	if !v.Descends(nil) || !v.Equal(VV{}) {
+		t.Fatal("zero VV should equal empty VV")
+	}
+	if v.String() != "{}" {
+		t.Fatalf("zero VV String = %q", v.String())
+	}
+}
+
+func TestFrom(t *testing.T) {
+	v := From("A", 2, "B", 1)
+	if v.Get("A") != 2 || v.Get("B") != 1 || v.Len() != 2 {
+		t.Fatalf("From = %v", v)
+	}
+}
+
+func TestFromPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"odd args":    func() { From("A") },
+		"non-string":  func() { From(1, 2) },
+		"bad counter": func() { From("A", "B") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestSetZeroRemoves(t *testing.T) {
+	v := From("A", 2)
+	v.Set("A", 0)
+	if v.Len() != 0 {
+		t.Fatalf("Set 0 should remove entry: %v", v)
+	}
+}
+
+func TestIncDoesNotMutate(t *testing.T) {
+	v := From("A", 1)
+	v2, d := v.Inc("A")
+	if v.Get("A") != 1 {
+		t.Fatal("Inc mutated receiver")
+	}
+	if v2.Get("A") != 2 || d != dot.New("A", 2) {
+		t.Fatalf("Inc = %v, %v", v2, d)
+	}
+}
+
+func TestIncInPlace(t *testing.T) {
+	v := New()
+	d1 := v.IncInPlace("A")
+	d2 := v.IncInPlace("A")
+	d3 := v.IncInPlace("B")
+	if d1 != dot.New("A", 1) || d2 != dot.New("A", 2) || d3 != dot.New("B", 1) {
+		t.Fatalf("dots = %v %v %v", d1, d2, d3)
+	}
+	if !v.Equal(From("A", 2, "B", 1)) {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestContainsDot(t *testing.T) {
+	v := From("A", 2, "B", 1)
+	tests := []struct {
+		d    dot.Dot
+		want bool
+	}{
+		{dot.New("A", 1), true},
+		{dot.New("A", 2), true},
+		{dot.New("A", 3), false},
+		{dot.New("B", 1), true},
+		{dot.New("B", 2), false},
+		{dot.New("C", 1), false},
+		{dot.Dot{}, false}, // zero dot is never contained
+	}
+	for _, tt := range tests {
+		if got := v.ContainsDot(tt.d); got != tt.want {
+			t.Errorf("ContainsDot(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := From("A", 2, "B", 1)
+	b := From("B", 3, "C", 1)
+	j := Join(a, b)
+	if !j.Equal(From("A", 2, "B", 3, "C", 1)) {
+		t.Fatalf("Join = %v", j)
+	}
+	// inputs untouched
+	if !a.Equal(From("A", 2, "B", 1)) || !b.Equal(From("B", 3, "C", 1)) {
+		t.Fatal("Join mutated inputs")
+	}
+}
+
+func TestMergeDotLosesGaps(t *testing.T) {
+	// Documented behaviour: folding a detached dot into a VV widens the
+	// history — (A,3) into {} yields {A:3}, which claims (A,1),(A,2) too.
+	v := New().Set("A", 0)
+	v.MergeDot(dot.New("A", 3))
+	if v.Get("A") != 3 {
+		t.Fatalf("MergeDot = %v", v)
+	}
+	if !v.ContainsDot(dot.New("A", 1)) {
+		t.Fatal("expected widened history to contain (A,1)")
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VV
+		want Ordering
+	}{
+		{"equal empty", nil, nil, Equal},
+		{"equal", From("A", 1), From("A", 1), Equal},
+		{"after", From("A", 2), From("A", 1), After},
+		{"before", From("A", 1), From("A", 1, "B", 1), Before},
+		{"concurrent", From("A", 1), From("B", 1), ConcurrentOrder},
+		{"concurrent crossing", From("A", 2, "B", 1), From("A", 1, "B", 2), ConcurrentOrder},
+		{"empty before", nil, From("A", 1), Before},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Equal: "equal", Before: "before", After: "after",
+		ConcurrentOrder: "concurrent", Ordering(0): "invalid(0)",
+	} {
+		if o.String() != want {
+			t.Errorf("Ordering(%d).String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestDotsEnumeration(t *testing.T) {
+	v := From("B", 2, "A", 1)
+	got := v.Dots()
+	want := []dot.Dot{dot.New("A", 1), dot.New("B", 1), dot.New("B", 2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dots = %v, want %v", got, want)
+	}
+	if v.Total() != 3 {
+		t.Fatalf("Total = %d", v.Total())
+	}
+}
+
+func TestString(t *testing.T) {
+	v := From("B", 1, "A", 2)
+	if got := v.String(); got != "{A:2, B:1}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomVV builds a small random vector for property tests.
+func randomVV(r *rand.Rand) VV {
+	ids := []dot.ID{"A", "B", "C", "D", "E"}
+	v := New()
+	for _, id := range ids {
+		if n := r.Intn(4); n > 0 {
+			v[id] = uint64(n)
+		}
+	}
+	return v
+}
+
+func TestJoinLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a, b, c := randomVV(r), randomVV(r), randomVV(r)
+		if !Join(a, b).Equal(Join(b, a)) {
+			t.Fatalf("join not commutative: %v %v", a, b)
+		}
+		if !Join(Join(a, b), c).Equal(Join(a, Join(b, c))) {
+			t.Fatalf("join not associative: %v %v %v", a, b, c)
+		}
+		if !Join(a, a).Equal(a) {
+			t.Fatalf("join not idempotent: %v", a)
+		}
+		if !Join(a, b).Descends(a) || !Join(a, b).Descends(b) {
+			t.Fatalf("join not an upper bound: %v %v", a, b)
+		}
+	}
+}
+
+func TestCompareMatchesDotSets(t *testing.T) {
+	// The VV partial order must coincide with set inclusion of its dot
+	// expansion — the defining property of version vectors as encodings of
+	// causal histories.
+	contains := func(set []dot.Dot, d dot.Dot) bool {
+		for _, x := range set {
+			if x == d {
+				return true
+			}
+		}
+		return false
+	}
+	subset := func(a, b []dot.Dot) bool {
+		for _, d := range a {
+			if !contains(b, d) {
+				return false
+			}
+		}
+		return true
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		a, b := randomVV(r), randomVV(r)
+		da, db := a.Dots(), b.Dots()
+		if got, want := a.Descends(b), subset(db, da); got != want {
+			t.Fatalf("Descends(%v,%v) = %v, dot-set says %v", a, b, got, want)
+		}
+	}
+}
+
+func TestDescendsQuick(t *testing.T) {
+	// Join(a,b) descends both inputs, for arbitrary map-typed vectors.
+	f := func(am, bm map[string]uint16) bool {
+		a, b := New(), New()
+		for k, v := range am {
+			if v > 0 {
+				a[dot.ID(k)] = uint64(v)
+			}
+		}
+		for k, v := range bm {
+			if v > 0 {
+				b[dot.ID(k)] = uint64(v)
+			}
+		}
+		j := Join(a, b)
+		return j.Descends(a) && j.Descends(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := From("A", 1)
+	b := a.Clone()
+	b.Set("A", 9)
+	if a.Get("A") != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	v := From("C", 1, "A", 1, "B", 1)
+	ids := v.IDs()
+	want := []dot.ID{"A", "B", "C"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+}

@@ -1,0 +1,268 @@
+// Package vve implements version vectors with exceptions (VVE), the
+// mechanism WinFS uses for concise version tracking (Malkhi & Terry,
+// "Concise version vectors in WinFS", Distributed Computing 20(3), 2007),
+// one of the baselines the paper compares against.
+//
+// A VVE encodes, per node, a contiguous prefix (i,1..base) *minus* an
+// explicit exception set, so it can represent any causal history —
+// including gapped ones — at the cost of storing the gaps. The paper's
+// observation is that in multi-version storage systems where a client PUT
+// replaces all versions it has read, a single detached dot is always
+// sufficient, so the full generality (and cost) of exception sets is not
+// needed; DVVs capture the one gap that matters for free.
+package vve
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/causal"
+	"repro/internal/dot"
+	"repro/internal/vv"
+)
+
+// Entry is the per-node state: events (node,1..Base) are present except
+// those listed in Exceptions (each 1 ≤ e ≤ Base).
+type Entry struct {
+	Base       uint64
+	Exceptions map[uint64]struct{}
+}
+
+func (e Entry) clone() Entry {
+	c := Entry{Base: e.Base}
+	if len(e.Exceptions) > 0 {
+		c.Exceptions = make(map[uint64]struct{}, len(e.Exceptions))
+		for x := range e.Exceptions {
+			c.Exceptions[x] = struct{}{}
+		}
+	}
+	return c
+}
+
+// VVE is a version vector with exceptions. The zero value (nil map) is the
+// empty history for read-only use; build mutable instances with New.
+type VVE map[dot.ID]Entry
+
+// New returns an empty mutable VVE.
+func New() VVE { return make(VVE) }
+
+// FromVV lifts a plain version vector (which has no gaps) into a VVE.
+func FromVV(v vv.VV) VVE {
+	e := make(VVE, v.Len())
+	for _, id := range v.IDs() {
+		e[id] = Entry{Base: v.Get(id)}
+	}
+	return e
+}
+
+// Clone returns an independent deep copy.
+func (v VVE) Clone() VVE {
+	c := make(VVE, len(v))
+	for id, e := range v {
+		c[id] = e.clone()
+	}
+	return c
+}
+
+// Contains reports whether event d is in the encoded history.
+func (v VVE) Contains(d dot.Dot) bool {
+	e, ok := v[d.Node]
+	if !ok || d.Counter == 0 || d.Counter > e.Base {
+		return false
+	}
+	_, excepted := e.Exceptions[d.Counter]
+	return !excepted
+}
+
+// Add inserts event d, extending the base and recording any new gap
+// positions as exceptions, or erasing an existing exception. Add keeps the
+// representation canonical: exceptions are always ≤ Base and never cover
+// present events.
+func (v VVE) Add(d dot.Dot) {
+	if d.Counter == 0 {
+		return
+	}
+	e := v[d.Node]
+	switch {
+	case d.Counter == e.Base+1:
+		e.Base = d.Counter
+	case d.Counter > e.Base+1:
+		if e.Exceptions == nil {
+			e.Exceptions = make(map[uint64]struct{})
+		}
+		for g := e.Base + 1; g < d.Counter; g++ {
+			e.Exceptions[g] = struct{}{}
+		}
+		e.Base = d.Counter
+	default: // d.Counter ≤ e.Base: maybe an exception to erase
+		delete(e.Exceptions, d.Counter)
+	}
+	// Compaction: absorb exceptions adjacent to nothing is unnecessary —
+	// the invariant (exceptions < Base, all distinct) already holds.
+	v[d.Node] = e
+}
+
+// Merge unions the histories of v and o in place (v ∪= o) and returns v.
+func (v VVE) Merge(o VVE) VVE {
+	for id, oe := range o {
+		ve, ok := v[id]
+		if !ok {
+			v[id] = oe.clone()
+			continue
+		}
+		newBase := ve.Base
+		if oe.Base > newBase {
+			newBase = oe.Base
+		}
+		merged := make(map[uint64]struct{})
+		// A counter c ≤ newBase is an exception iff it is absent from both.
+		inV := func(c uint64) bool {
+			if c > ve.Base {
+				return false
+			}
+			_, x := ve.Exceptions[c]
+			return !x
+		}
+		inO := func(c uint64) bool {
+			if c > oe.Base {
+				return false
+			}
+			_, x := oe.Exceptions[c]
+			return !x
+		}
+		for c := range ve.Exceptions {
+			if !inO(c) {
+				merged[c] = struct{}{}
+			}
+		}
+		for c := range oe.Exceptions {
+			if !inV(c) {
+				merged[c] = struct{}{}
+			}
+		}
+		// Gaps created by extending the smaller base are already in the
+		// other side's exception set (or covered); additionally, counters
+		// between min(base)+1..newBase absent from the larger side only
+		// when the larger side excepted them — handled above. Counters in
+		// (ve.Base, newBase] absent from o cannot exist since newBase is
+		// max of the two. Nothing more to add.
+		e := Entry{Base: newBase}
+		if len(merged) > 0 {
+			e.Exceptions = merged
+		}
+		v[id] = e
+	}
+	return v
+}
+
+// SubsetOf reports whether v's history is included in o's.
+func (v VVE) SubsetOf(o VVE) bool {
+	for id, ve := range v {
+		oe := o[id]
+		if ve.Base > oe.Base {
+			// Some event in (oe.Base, ve.Base] must be present in v.
+			for c := oe.Base + 1; c <= ve.Base; c++ {
+				if _, x := ve.Exceptions[c]; !x {
+					return false
+				}
+			}
+		}
+		// Every present event of v up to min(bases) must be present in o.
+		limit := ve.Base
+		if oe.Base < limit {
+			limit = oe.Base
+		}
+		// Iterate o's exceptions (usually small) and check v misses them too.
+		for c := range oe.Exceptions {
+			if c <= limit {
+				if _, x := ve.Exceptions[c]; !x {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports history equality.
+func (v VVE) Equal(o VVE) bool { return v.SubsetOf(o) && o.SubsetOf(v) }
+
+// Compare classifies the causal relation of two VVEs by set inclusion.
+func (v VVE) Compare(o VVE) vv.Ordering {
+	vo, ov := v.SubsetOf(o), o.SubsetOf(v)
+	switch {
+	case vo && ov:
+		return vv.Equal
+	case vo:
+		return vv.Before
+	case ov:
+		return vv.After
+	default:
+		return vv.ConcurrentOrder
+	}
+}
+
+// History expands the VVE into an explicit causal history.
+func (v VVE) History() causal.History {
+	h := causal.New()
+	for id, e := range v {
+		for c := uint64(1); c <= e.Base; c++ {
+			if _, x := e.Exceptions[c]; !x {
+				h.Add(dot.New(id, c))
+			}
+		}
+	}
+	return h
+}
+
+// Size returns the abstract metadata size: one unit per node entry plus one
+// per exception — the quantity that grows when histories are gapped.
+func (v VVE) Size() int {
+	n := 0
+	for _, e := range v {
+		n++
+		n += len(e.Exceptions)
+	}
+	return n
+}
+
+// String renders e.g. "{A:5\{2,4}, B:1}" with sorted ids and exceptions.
+func (v VVE) String() string {
+	if len(v) == 0 {
+		return "{}"
+	}
+	ids := make([]dot.ID, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		e := v[id]
+		b.WriteString(string(id))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(e.Base, 10))
+		if len(e.Exceptions) > 0 {
+			xs := make([]uint64, 0, len(e.Exceptions))
+			for x := range e.Exceptions {
+				xs = append(xs, x)
+			}
+			sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+			b.WriteString(`\{`)
+			for j, x := range xs {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.FormatUint(x, 10))
+			}
+			b.WriteByte('}')
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

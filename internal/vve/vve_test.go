@@ -1,0 +1,176 @@
+package vve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/dot"
+	"repro/internal/vv"
+)
+
+func d(node string, n uint64) dot.Dot { return dot.New(dot.ID(node), n) }
+
+func TestZeroValueReadable(t *testing.T) {
+	var v VVE
+	if v.Contains(d("A", 1)) {
+		t.Fatal("zero VVE contains a dot")
+	}
+	if v.Size() != 0 || v.String() != "{}" {
+		t.Fatal("zero VVE not empty")
+	}
+	if !v.Equal(New()) {
+		t.Fatal("zero != empty")
+	}
+}
+
+func TestAddContiguous(t *testing.T) {
+	v := New()
+	v.Add(d("A", 1))
+	v.Add(d("A", 2))
+	if !v.Contains(d("A", 1)) || !v.Contains(d("A", 2)) || v.Contains(d("A", 3)) {
+		t.Fatalf("v = %v", v)
+	}
+	if v.Size() != 1 {
+		t.Fatalf("Size = %d, want 1 (no exceptions)", v.Size())
+	}
+}
+
+func TestAddGapped(t *testing.T) {
+	v := New()
+	v.Add(d("A", 3)) // creates exceptions {1,2}
+	if v.Contains(d("A", 1)) || v.Contains(d("A", 2)) || !v.Contains(d("A", 3)) {
+		t.Fatalf("v = %v", v)
+	}
+	if v.Size() != 3 { // 1 entry + 2 exceptions
+		t.Fatalf("Size = %d", v.Size())
+	}
+	v.Add(d("A", 1)) // fills one gap
+	if !v.Contains(d("A", 1)) || v.Contains(d("A", 2)) {
+		t.Fatalf("after fill: %v", v)
+	}
+	if v.Size() != 2 {
+		t.Fatalf("Size after fill = %d", v.Size())
+	}
+}
+
+func TestAddZeroCounterIgnored(t *testing.T) {
+	v := New()
+	v.Add(dot.Dot{Node: "A"})
+	if v.Size() != 0 {
+		t.Fatalf("zero counter added: %v", v)
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	v := New()
+	v.Add(d("A", 5))
+	v.Add(d("A", 2))
+	v.Add(d("B", 1))
+	if got := v.String(); got != `{A:5\{1,3,4}, B:1}` {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestFromVVRoundTrip(t *testing.T) {
+	pv := vv.From("A", 2, "B", 1)
+	v := FromVV(pv)
+	if !v.History().Equal(causal.FromVV(pv)) {
+		t.Fatalf("FromVV history mismatch: %v", v)
+	}
+}
+
+func TestMergeAgainstOracle(t *testing.T) {
+	// Merge must equal union of the explicit histories, for arbitrary
+	// gapped inputs.
+	r := rand.New(rand.NewSource(21))
+	randVVE := func() VVE {
+		v := New()
+		for _, id := range []string{"A", "B"} {
+			for c := uint64(1); c <= 6; c++ {
+				if r.Intn(2) == 0 {
+					v.Add(d(id, c))
+				}
+			}
+		}
+		return v
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randVVE(), randVVE()
+		want := causal.Union(a.History(), b.History())
+		got := a.Clone().Merge(b)
+		if !got.History().Equal(want) {
+			t.Fatalf("Merge(%v, %v) = %v, want history %v", a, b, got, want)
+		}
+	}
+}
+
+func TestCompareAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	randVVE := func() VVE {
+		v := New()
+		for _, id := range []string{"A", "B"} {
+			for c := uint64(1); c <= 5; c++ {
+				if r.Intn(2) == 0 {
+					v.Add(d(id, c))
+				}
+			}
+		}
+		return v
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randVVE(), randVVE()
+		if got, want := a.Compare(b), a.History().Compare(b.History()); got != want {
+			t.Fatalf("Compare(%v, %v) = %v, oracle %v", a, b, got, want)
+		}
+	}
+}
+
+func TestContainsMatchesHistory(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		v := New()
+		for c := uint64(1); c <= 8; c++ {
+			if r.Intn(2) == 0 {
+				v.Add(d("A", c))
+			}
+		}
+		h := v.History()
+		for c := uint64(1); c <= 9; c++ {
+			if got, want := v.Contains(d("A", c)), h.Contains(d("A", c)); got != want {
+				t.Fatalf("Contains(A,%d) = %v, history says %v (v=%v)", c, got, want, v)
+			}
+		}
+	}
+}
+
+func TestMergeIdempotentCommutative(t *testing.T) {
+	a := New()
+	a.Add(d("A", 3))
+	a.Add(d("B", 1))
+	b := New()
+	b.Add(d("A", 1))
+	b.Add(d("A", 2))
+	ab := a.Clone().Merge(b)
+	ba := b.Clone().Merge(a)
+	if !ab.Equal(ba) {
+		t.Fatalf("merge not commutative: %v vs %v", ab, ba)
+	}
+	if !a.Clone().Merge(a).Equal(a) {
+		t.Fatal("merge not idempotent")
+	}
+	// merging contiguous into gapped erases the exceptions
+	if ab.Size() != 2 {
+		t.Fatalf("expected gap-free result, Size = %d (%v)", ab.Size(), ab)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New()
+	a.Add(d("A", 3))
+	b := a.Clone()
+	b.Add(d("A", 1))
+	if a.Contains(d("A", 1)) {
+		t.Fatal("Clone shares exception storage")
+	}
+}

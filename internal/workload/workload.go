@@ -1,0 +1,182 @@
+// Package workload generates the client traffic the experiments replay:
+// key-access distributions (uniform, zipfian, hotspot), operation mixes,
+// and concurrent read-modify-write sessions with tunable staleness — the
+// "many clients racing through few replicas" pattern that motivates the
+// paper.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KeyDist selects keys for successive operations.
+type KeyDist interface {
+	// Next returns the next key.
+	Next() string
+	// Keys returns the size of the key space.
+	Keys() int
+}
+
+// Uniform picks keys uniformly from a fixed space.
+type Uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewUniform creates a uniform distribution over n keys.
+func NewUniform(n int, seed int64) *Uniform {
+	if n < 1 {
+		n = 1
+	}
+	return &Uniform{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns a uniformly random key.
+func (u *Uniform) Next() string { return keyName(u.rng.Intn(u.n)) }
+
+// Keys returns the key-space size.
+func (u *Uniform) Keys() int { return u.n }
+
+// Zipf picks keys with a zipfian popularity skew (a few hot keys take most
+// of the traffic — the contention pattern under which sibling races and
+// metadata growth actually matter).
+type Zipf struct {
+	n   int
+	z   *rand.Zipf
+	rng *rand.Rand
+}
+
+// NewZipf creates a zipfian distribution over n keys with skew s > 1
+// (typical YCSB-style skew ≈ 1.1).
+func NewZipf(n int, s float64, seed int64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{n: n, z: rand.NewZipf(rng, s, 1, uint64(n-1)), rng: rng}
+}
+
+// Next returns a zipf-distributed key.
+func (z *Zipf) Next() string { return keyName(int(z.z.Uint64())) }
+
+// Keys returns the key-space size.
+func (z *Zipf) Keys() int { return z.n }
+
+// Hotspot sends a fraction of traffic to a single hot key and the rest
+// uniformly — the single-object storm of the paper's Figure 1.
+type Hotspot struct {
+	n    int
+	frac float64
+	rng  *rand.Rand
+}
+
+// NewHotspot creates a hotspot distribution: frac of ops hit key 0.
+func NewHotspot(n int, frac float64, seed int64) *Hotspot {
+	if n < 1 {
+		n = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return &Hotspot{n: n, frac: frac, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the hot key with probability frac, else a uniform key.
+func (h *Hotspot) Next() string {
+	if h.rng.Float64() < h.frac {
+		return keyName(0)
+	}
+	return keyName(h.rng.Intn(h.n))
+}
+
+// Keys returns the key-space size.
+func (h *Hotspot) Keys() int { return h.n }
+
+func keyName(i int) string { return fmt.Sprintf("key-%06d", i) }
+
+// ---------------------------------------------------------------------------
+// Operation streams.
+// ---------------------------------------------------------------------------
+
+// OpKind is a client operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpGet OpKind = iota + 1
+	OpPut
+	// OpBlindPut writes without any session context (a fresh client),
+	// the maximally racing write.
+	OpBlindPut
+)
+
+// Op is one generated client operation.
+type Op struct {
+	Kind   OpKind
+	Client int // client session index
+	Key    string
+	Value  []byte
+}
+
+// Mix describes an operation mix.
+type Mix struct {
+	// GetFraction of ops are reads; the rest are writes.
+	GetFraction float64
+	// BlindFraction of the writes present no context.
+	BlindFraction float64
+}
+
+// Generator produces a reproducible operation stream.
+type Generator struct {
+	Dist    KeyDist
+	Mix     Mix
+	Clients int
+	rng     *rand.Rand
+	seq     int
+}
+
+// NewGenerator creates a generator over the key distribution with the
+// given mix and client count.
+func NewGenerator(dist KeyDist, mix Mix, clients int, seed int64) *Generator {
+	if clients < 1 {
+		clients = 1
+	}
+	return &Generator{Dist: dist, Mix: mix, Clients: clients, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next operation. Values are unique write identifiers,
+// usable as oracle write ids.
+func (g *Generator) Next() Op {
+	op := Op{
+		Client: g.rng.Intn(g.Clients),
+		Key:    g.Dist.Next(),
+	}
+	if g.rng.Float64() < g.Mix.GetFraction {
+		op.Kind = OpGet
+		return op
+	}
+	g.seq++
+	op.Value = []byte(fmt.Sprintf("w%08d", g.seq))
+	if g.rng.Float64() < g.Mix.BlindFraction {
+		op.Kind = OpBlindPut
+	} else {
+		op.Kind = OpPut
+	}
+	return op
+}
+
+// Generate produces n operations.
+func (g *Generator) Generate(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

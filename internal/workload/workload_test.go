@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	u := NewUniform(10, 1)
+	if u.Keys() != 10 {
+		t.Fatalf("Keys = %d", u.Keys())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k := u.Next()
+		if !strings.HasPrefix(k, "key-") {
+			t.Fatalf("key = %q", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d keys, want 10", len(seen))
+	}
+}
+
+func TestUniformClampsN(t *testing.T) {
+	u := NewUniform(0, 1)
+	if u.Keys() != 1 {
+		t.Fatalf("Keys = %d", u.Keys())
+	}
+}
+
+func TestZipfSkewsTraffic(t *testing.T) {
+	z := NewZipf(1000, 1.2, 2)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// The hottest key must take far more than the uniform share (20).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/100 {
+		t.Fatalf("hottest key got %d/%d — no skew", max, n)
+	}
+	// Invalid skew falls back to a sane default.
+	z2 := NewZipf(10, 0.5, 3)
+	_ = z2.Next()
+}
+
+func TestHotspotFraction(t *testing.T) {
+	h := NewHotspot(100, 0.9, 4)
+	hot := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if h.Next() == "key-000000" {
+			hot++
+		}
+	}
+	if hot < n*8/10 {
+		t.Fatalf("hot key got %d/%d, want ≥80%%", hot, n)
+	}
+	// Clamping.
+	if NewHotspot(0, -1, 5).Keys() != 1 {
+		t.Fatal("clamp failed")
+	}
+}
+
+func TestGeneratorMixAndUniqueness(t *testing.T) {
+	g := NewGenerator(NewUniform(50, 6), Mix{GetFraction: 0.5, BlindFraction: 0.3}, 8, 6)
+	ops := g.Generate(5000)
+	if len(ops) != 5000 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	gets, puts, blind := 0, 0, 0
+	values := map[string]bool{}
+	for _, op := range ops {
+		if op.Client < 0 || op.Client >= 8 {
+			t.Fatalf("client out of range: %d", op.Client)
+		}
+		switch op.Kind {
+		case OpGet:
+			gets++
+			if op.Value != nil {
+				t.Fatal("get with value")
+			}
+		case OpPut, OpBlindPut:
+			if op.Kind == OpBlindPut {
+				blind++
+			}
+			puts++
+			if values[string(op.Value)] {
+				t.Fatalf("duplicate write id %s", op.Value)
+			}
+			values[string(op.Value)] = true
+		default:
+			t.Fatalf("bad kind %d", op.Kind)
+		}
+	}
+	if gets < 2000 || gets > 3000 {
+		t.Fatalf("gets = %d, want ~2500", gets)
+	}
+	if blind == 0 || blind == puts {
+		t.Fatalf("blind = %d of %d puts, want a strict fraction", blind, puts)
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	a := NewGenerator(NewUniform(10, 7), Mix{GetFraction: 0.3}, 4, 7).Generate(100)
+	b := NewGenerator(NewUniform(10, 7), Mix{GetFraction: 0.3}, 4, 7).Generate(100)
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Key != b[i].Key || a[i].Client != b[i].Client {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
