@@ -8,18 +8,22 @@
 // C3  BenchmarkCluster*            — request path cost per mechanism
 // C4  BenchmarkPruningCompare      — anomaly accounting cost (oracle diff)
 // A1  BenchmarkDVVSet*             — compact set vs per-version clocks
+// S1  BenchmarkStoreParallel*      — sharded store vs single-mutex baseline
 package dvv_test
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	dvv "repro"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/oracle"
+	"repro/internal/storage"
 	"repro/internal/svv"
 	"repro/internal/vv"
 )
@@ -242,6 +246,58 @@ func BenchmarkDVVSetSync(b *testing.B) {
 		sinkInt = c.Len()
 	}
 }
+
+// S1 — storage engine contention. The same Get/Put workload runs against
+// the sharded engine and the one-shard (single-RWMutex) baseline at
+// several goroutine counts; the sharded store must not lose throughput as
+// goroutines are added. GOMAXPROCS is pinned per sub-benchmark so
+// "goroutines-N" means exactly N concurrent workers under b.RunParallel.
+func benchStoreParallel(b *testing.B, putEvery int) {
+	for _, shards := range []int{1, 64} {
+		for _, goroutines := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("shards-%d/goroutines-%d", shards, goroutines), func(b *testing.B) {
+				m := core.NewDVV()
+				s := storage.NewSharded(m, shards)
+				const keyspace = 512
+				keys := make([]string, keyspace)
+				for i := range keys {
+					keys[i] = fmt.Sprintf("key-%04d", i)
+					if _, err := s.Put(keys[i], m.EmptyContext(), []byte("seed"),
+						core.WriteInfo{Server: "S1", Client: "seeder"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(goroutines))
+				var gid atomic.Uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					g := gid.Add(1)
+					wi := core.WriteInfo{Server: "S1", Client: dvv.ID(fmt.Sprintf("c%d", g))}
+					h := g * 0x9E3779B97F4A7C15 // per-goroutine key walk
+					for n := uint64(0); pb.Next(); n++ {
+						h += 0x9E3779B97F4A7C15
+						key := keys[(h>>32)%keyspace]
+						if putEvery > 0 && n%uint64(putEvery) == 0 {
+							rr, _ := s.Get(key)
+							if _, err := s.Put(key, rr.Ctx, []byte("value"), wi); err != nil {
+								b.Error(err)
+								return
+							}
+						} else if _, ok := s.Get(key); !ok {
+							b.Error("seeded key missing")
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkStoreParallelGet(b *testing.B) { benchStoreParallel(b, 0) }
+
+func BenchmarkStoreParallelMixed(b *testing.B) { benchStoreParallel(b, 4) } // 1 read-modify-write per 4 ops
 
 // Codec costs (the measurement instrument).
 func BenchmarkCodecEncodeClock(b *testing.B) {

@@ -41,6 +41,7 @@ func run(args []string) error {
 		ops        = fs.Int("ops", 0, "override operation count (riak)")
 		clients    = fs.Int("clients", 0, "override client count (riak)")
 		nodes      = fs.Int("nodes", 0, "override node count (riak)")
+		shards     = fs.Int("shards", 0, "override storage lock shards per node (riak, 0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +86,9 @@ func run(args []string) error {
 			}
 			if *nodes > 0 {
 				cfg.Nodes = *nodes
+			}
+			if *shards > 0 {
+				cfg.StoreShards = *shards
 			}
 			_, table, err := sim.RunRiak(cfg)
 			if err != nil {

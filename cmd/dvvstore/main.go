@@ -90,6 +90,7 @@ func serve(args []string) error {
 		w      = fs.Int("w", 2, "write quorum")
 		ae     = fs.Duration("anti-entropy", 5*time.Second, "anti-entropy interval (0 disables)")
 		mech   = fs.String("mechanism", "dvv", "causality mechanism (dvv|dvvset|clientvv|servervv|oracle)")
+		shards = fs.Int("shards", 0, "storage lock shards, rounded up to a power of two (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +127,7 @@ func serve(args []string) error {
 		N: clamp(*n), R: clamp(*r), W: clamp(*w),
 		Timeout: 5 * time.Second, ReadRepair: true,
 		AntiEntropyInterval: *ae,
+		StoreShards:         *shards,
 	})
 	if err != nil {
 		return err

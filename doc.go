@@ -24,6 +24,17 @@
 //     coordination, read repair and anti-entropy over in-memory or TCP
 //     transports (internal/cluster et al.).
 //
+// Each replica's local state lives in a sharded storage engine
+// (internal/storage): keys hash onto a power-of-two array of shards, each
+// with its own RWMutex, so concurrent request handlers only contend when
+// they touch the same slice of the keyspace. Per-key operations are
+// linearizable per key; whole-store walks (key listing, metadata
+// accounting, persistence, anti-entropy scans) proceed shard by shard and
+// are per-shard-consistent rather than point-in-time — the anti-entropy
+// protocol reconverges across rounds by construction. The shard count is
+// configurable through node.Config.StoreShards up to the cluster and CLI
+// layers; one shard reproduces the classic single-mutex store.
+//
 // The experiment harness that regenerates the paper's figures lives in
 // internal/sim and is exposed through cmd/dvvbench; EXPERIMENTS.md records
 // paper-vs-measured results.

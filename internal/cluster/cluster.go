@@ -37,6 +37,10 @@ type Config struct {
 	AntiEntropyInterval time.Duration
 	Timeout             time.Duration
 	Seed                int64
+
+	// StoreShards is each node's storage lock-shard count; 0 means
+	// storage.DefaultShards.
+	StoreShards int
 }
 
 // Cluster is a set of replica nodes sharing a ring and transport.
@@ -114,6 +118,7 @@ func New(cfg Config) (*Cluster, error) {
 			ReadRepair:          cfg.ReadRepair,
 			HintedHandoff:       cfg.HintedHandoff,
 			AntiEntropyInterval: cfg.AntiEntropyInterval,
+			StoreShards:         cfg.StoreShards,
 			Seed:                cfg.Seed + int64(i),
 		})
 		if err != nil {

@@ -70,6 +70,10 @@ type Config struct {
 	// anti-entropy tick, or via DeliverHints).
 	HintedHandoff bool
 
+	// StoreShards is the local store's lock-shard count (rounded up to a
+	// power of two); 0 means storage.DefaultShards.
+	StoreShards int
+
 	// Seed makes peer selection reproducible.
 	Seed int64
 }
@@ -95,6 +99,9 @@ func (c *Config) validate() error {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Second
+	}
+	if c.StoreShards < 1 {
+		c.StoreShards = storage.DefaultShards
 	}
 	return nil
 }
@@ -134,7 +141,7 @@ func New(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:   cfg,
-		store: storage.New(cfg.Mech),
+		store: storage.NewSharded(cfg.Mech, cfg.StoreShards),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		hints: make(map[dot.ID]map[string]core.State),
 		done:  make(chan struct{}),
@@ -282,6 +289,11 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 	defer cancel()
 
 	merged, _ := n.store.Snapshot(key)
+	// Divergence is judged against this snapshot, not the live store: a
+	// concurrent local put landing between here and the reply loop must
+	// not make in-sync peers look divergent (or a diverged peer look
+	// converged). HashState(nil) is 0, matching KeyHash for missing keys.
+	localHash := storage.HashState(n.cfg.Mech, merged)
 	if merged == nil {
 		merged = n.cfg.Mech.NewState()
 	}
@@ -302,7 +314,6 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 		}()
 	}
 	divergent := make([]dot.ID, 0, len(peers))
-	localHash := n.store.KeyHash(key)
 	for range peers {
 		rep := <-ch
 		if rep.err != nil {
@@ -314,7 +325,7 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 		}
 		// A peer is divergent if its state hash differs from ours; the
 		// precise check happens again at repair time via Sync.
-		if !rep.found || hashState(n.cfg.Mech, rep.state) != localHash {
+		if !rep.found || storage.HashState(n.cfg.Mech, rep.state) != localHash {
 			divergent = append(divergent, rep.peer)
 		}
 	}
@@ -329,17 +340,6 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 		n.repairAsync(key, merged, divergent)
 	}
 	return n.cfg.Mech.Read(merged), nil
-}
-
-func hashState(m core.Mechanism, st core.State) uint64 {
-	w := codec.NewWriter(128)
-	m.EncodeState(w, st)
-	var h uint64 = 1469598103934665603 // FNV offset basis
-	for _, b := range w.Bytes() {
-		h ^= uint64(b)
-		h *= 1099511628211
-	}
-	return h
 }
 
 func (n *Node) forwardGet(ctx context.Context, to dot.ID, key string) (core.ReadResult, error) {

@@ -4,51 +4,113 @@
 // a DVV replica, a client-VV replica or the causal-history oracle — and is
 // safe for concurrent use by the replica server's request handlers and
 // anti-entropy loop.
+//
+// Internally the store is sharded: keys hash (FNV-1a) onto a fixed
+// power-of-two array of shards, each guarded by its own RWMutex. Request
+// handlers touching different shards never contend, and whole-store
+// operations (Keys, TotalMetadataBytes, Save, Load) walk the shards one at
+// a time instead of stalling the entire store behind a single lock. The
+// price is that whole-store reads are per-shard-consistent rather than a
+// point-in-time snapshot of the full map — acceptable for the anti-entropy
+// and accounting paths that use them, since every key's state is itself
+// read under its shard lock and anti-entropy reconverges on the next
+// round.
 package storage
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 )
 
+// DefaultShards is the shard count used by New. Sized for tens of
+// concurrent request-handler goroutines; must be a power of two.
+const DefaultShards = 64
+
+// shard is one lock domain: a slice of the keyspace with its own mutex.
+type shard struct {
+	mu   sync.RWMutex
+	data map[string]core.State
+}
+
 // Store is a replica's local key-value state under one mechanism.
 type Store struct {
 	mech core.Mechanism
 
-	mu   sync.RWMutex
-	data map[string]core.State
+	shards []shard
+	mask   uint64
 
-	// statistics (guarded by mu)
-	puts, gets, syncs uint64
+	// operation counters; atomics so reads never touch the shard locks.
+	puts, gets, syncs atomic.Uint64
 }
 
-// New creates an empty store for the given mechanism.
+// New creates an empty store for the given mechanism with DefaultShards
+// shards.
 func New(mech core.Mechanism) *Store {
-	return &Store{mech: mech, data: make(map[string]core.State)}
+	return NewSharded(mech, DefaultShards)
+}
+
+// NewSharded creates an empty store with the given shard count, rounded up
+// to the next power of two (minimum 1). A single-shard store degenerates
+// to the classic one-big-RWMutex engine and exists as the contention
+// baseline for benchmarks.
+func NewSharded(mech core.Mechanism, shards int) *Store {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1 << bits.Len(uint(shards-1)) // next power of two ≥ shards
+	s := &Store{
+		mech:   mech,
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string]core.State)
+	}
+	return s
 }
 
 // Mechanism returns the store's causality mechanism.
 func (s *Store) Mechanism() core.Mechanism { return s.mech }
 
+// ShardCount returns the number of lock domains.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// fnv64a is FNV-1a, inlined to keep key hashing allocation-free on the
+// request path. One implementation serves both the key→shard map and the
+// state-divergence hash.
+func fnv64a[T ~string | ~[]byte](v T) uint64 {
+	h := uint64(14695981039346656037) // offset basis
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= 1099511628211 // prime
+	}
+	return h
+}
+
+// shardFor maps a key onto its shard.
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[fnv64a(key)&s.mask]
+}
+
 // Get returns the sibling values and causal context for key. Missing keys
 // return ok=false with an empty-context read result.
 func (s *Store) Get(key string) (core.ReadResult, bool) {
-	s.mu.RLock()
-	st, ok := s.data[key]
-	s.mu.RUnlock()
-	s.count(&s.gets)
+	s.gets.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.data[key]
 	if !ok {
 		return core.ReadResult{Ctx: s.mech.EmptyContext()}, false
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.mech.Read(st), true
 }
 
@@ -56,9 +118,10 @@ func (s *Store) Get(key string) (core.ReadResult, bool) {
 // (values surviving plus the new context — what the server hands back to
 // the client, Riak's return_body).
 func (s *Store) Put(key string, ctx core.Context, value []byte, w core.WriteInfo) (core.ReadResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.data[key]
 	if !ok {
 		st = s.mech.NewState()
 	}
@@ -66,43 +129,49 @@ func (s *Store) Put(key string, ctx core.Context, value []byte, w core.WriteInfo
 	if err != nil {
 		return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
 	}
-	s.data[key] = ns
-	s.puts++
+	sh.data[key] = ns
+	s.puts.Add(1)
 	return s.mech.Read(ns), nil
 }
 
 // SyncKey merges a remote state for key into the local one (replication
 // and anti-entropy ingest path).
 func (s *Store) SyncKey(key string, remote core.State) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.data[key]
 	if !ok {
 		st = s.mech.NewState()
 	}
-	s.data[key] = s.mech.Sync(st, remote)
-	s.syncs++
+	sh.data[key] = s.mech.Sync(st, remote)
+	s.syncs.Add(1)
 }
 
 // Snapshot returns an independent deep copy of key's state and whether the
 // key exists.
 func (s *Store) Snapshot(key string) (core.State, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.data[key]
 	if !ok {
 		return nil, false
 	}
 	return s.mech.CloneState(st), true
 }
 
-// Keys returns all keys, sorted.
+// Keys returns all keys, sorted. The listing is assembled shard by shard,
+// so keys inserted concurrently may or may not appear.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.data))
-	for k := range s.data {
-		out = append(out, k)
+	out := make([]string, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.data {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -110,68 +179,97 @@ func (s *Store) Keys() []string {
 
 // Len returns the number of keys.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // MetadataBytes returns the encoded causal metadata size for key (0 if
 // missing).
 func (s *Store) MetadataBytes(key string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.data[key]
 	if !ok {
 		return 0
 	}
 	return s.mech.MetadataBytes(st)
 }
 
-// TotalMetadataBytes sums metadata across all keys.
+// TotalMetadataBytes sums metadata across all keys, one shard at a time.
 func (s *Store) TotalMetadataBytes() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	total := 0
-	for _, st := range s.data {
-		total += s.mech.MetadataBytes(st)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, st := range sh.data {
+			total += s.mech.MetadataBytes(st)
+		}
+		sh.mu.RUnlock()
 	}
 	return total
 }
 
 // Siblings returns the sibling count for key (0 if missing).
 func (s *Store) Siblings(key string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.data[key]
 	if !ok {
 		return 0
 	}
 	return s.mech.Siblings(st)
 }
 
+// HashEncoded returns the FNV-1a hash of an encoded state — the one
+// divergence-detection hash used across the store and the node's read and
+// anti-entropy paths.
+func HashEncoded(b []byte) uint64 {
+	return fnv64a(b)
+}
+
+// HashState hashes a state's canonical encoding with HashEncoded. A nil
+// state hashes to 0, matching KeyHash's convention for missing keys, so a
+// hash taken from Snapshot compares directly against a peer's KeyHash.
+func HashState(m core.Mechanism, st core.State) uint64 {
+	if st == nil {
+		return 0
+	}
+	w := codec.NewWriter(128)
+	m.EncodeState(w, st)
+	return HashEncoded(w.Bytes())
+}
+
 // KeyHash returns a stable hash of key's encoded state, used by
 // anti-entropy to detect replica divergence cheaply. Missing keys hash to
 // 0.
 func (s *Store) KeyHash(key string) uint64 {
-	s.mu.RLock()
-	st, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	st, ok := sh.data[key]
 	if !ok {
-		s.mu.RUnlock()
+		sh.mu.RUnlock()
 		return 0
 	}
 	w := codec.NewWriter(128)
 	s.mech.EncodeState(w, st)
-	s.mu.RUnlock()
-	h := fnv.New64a()
-	h.Write(w.Bytes())
-	return h.Sum64()
+	sh.mu.RUnlock()
+	return HashEncoded(w.Bytes())
 }
 
 // EncodeKey appends key's state to w; reports whether the key existed.
 func (s *Store) EncodeKey(key string, w *codec.Writer) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.data[key]
 	if !ok {
 		return false
 	}
@@ -187,34 +285,29 @@ type Stats struct {
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{Puts: s.puts, Gets: s.gets, Syncs: s.syncs, Keys: len(s.data)}
-}
-
-func (s *Store) count(c *uint64) {
-	s.mu.Lock()
-	*c++
-	s.mu.Unlock()
+	return Stats{
+		Puts:  s.puts.Load(),
+		Gets:  s.gets.Load(),
+		Syncs: s.syncs.Load(),
+		Keys:  s.Len(),
+	}
 }
 
 // ---------------------------------------------------------------------------
 // Persistence: length-framed (key, state) records.
 // ---------------------------------------------------------------------------
 
-// Save writes the whole store to w as framed records.
+// Save writes the whole store to w as framed records in sorted key order.
+// Shards are locked one key at a time, so a concurrent writer is never
+// stalled for the whole dump; keys written mid-save may or may not be
+// included.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range s.Keys() {
 		cw := codec.NewWriter(256)
 		cw.String(k)
-		s.mech.EncodeState(cw, s.data[k])
+		if !s.EncodeKey(k, cw) {
+			continue // deleted since listing; nothing to persist
+		}
 		if err := codec.WriteFrame(w, cw.Bytes()); err != nil {
 			return fmt.Errorf("storage: save %q: %w", k, err)
 		}
@@ -223,8 +316,13 @@ func (s *Store) Save(w io.Writer) error {
 }
 
 // Load replaces the store's content with records read from r until EOF.
+// Decoding happens outside any lock; the swap then proceeds shard by
+// shard.
 func (s *Store) Load(r io.Reader) error {
-	data := make(map[string]core.State)
+	fresh := make([]map[string]core.State, len(s.shards))
+	for i := range fresh {
+		fresh[i] = make(map[string]core.State)
+	}
 	for {
 		frame, err := codec.ReadFrame(r)
 		if err != nil {
@@ -243,10 +341,13 @@ func (s *Store) Load(r io.Reader) error {
 		if cr.Err() != nil {
 			return fmt.Errorf("storage: load key %q: %w", key, cr.Err())
 		}
-		data[key] = st
+		fresh[fnv64a(key)&s.mask][key] = st
 	}
-	s.mu.Lock()
-	s.data = data
-	s.mu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.data = fresh[i]
+		sh.mu.Unlock()
+	}
 	return nil
 }
