@@ -13,9 +13,11 @@
 //	dvvbench -experiment pruning        # C4: pruning safety
 //	dvvbench -experiment ablation       # A1: DVV vs DVVSet
 //	dvvbench -experiment riak -csv      # CSV instead of aligned text
+//	dvvbench -json > BENCH_N.json       # machine-readable snapshot of all tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func run(args []string) error {
 	var (
 		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|all")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
 		seed       = fs.Int64("seed", 42, "experiment seed")
 		ops        = fs.Int("ops", 0, "override operation count (riak)")
 		clients    = fs.Int("clients", 0, "override client count (riak)")
@@ -47,18 +50,40 @@ func run(args []string) error {
 		return err
 	}
 
+	// jsonTable is one experiment table in the -json snapshot format;
+	// BENCH_*.json files checked in per PR are arrays of these, so future
+	// sessions can diff benchmark trajectories mechanically.
+	type jsonTable struct {
+		Experiment string     `json:"experiment"`
+		Title      string     `json:"title"`
+		Headers    []string   `json:"headers"`
+		Rows       [][]string `json:"rows"`
+	}
+	var collected []jsonTable
+	current := ""
+
 	emit := func(tables ...*stats.Table) {
 		for _, t := range tables {
-			if *csv {
+			switch {
+			case *jsonOut:
+				rows := t.Rows
+				if rows == nil {
+					rows = [][]string{}
+				}
+				collected = append(collected, jsonTable{
+					Experiment: current, Title: t.Title, Headers: t.Headers, Rows: rows,
+				})
+			case *csv:
 				fmt.Println("# " + t.Title)
 				fmt.Print(t.CSV())
-			} else {
+			default:
 				fmt.Println(t.String())
 			}
 		}
 	}
 
 	runOne := func(name string) error {
+		current = name
 		start := time.Now()
 		switch name {
 		case "fig1":
@@ -109,13 +134,28 @@ func run(args []string) error {
 		return nil
 	}
 
+	finish := func() error {
+		if !*jsonOut {
+			return nil
+		}
+		out, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+
 	if *experiment == "all" {
 		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation"} {
 			if err := runOne(name); err != nil {
 				return err
 			}
 		}
-		return nil
+		return finish()
 	}
-	return runOne(*experiment)
+	if err := runOne(*experiment); err != nil {
+		return err
+	}
+	return finish()
 }

@@ -16,6 +16,12 @@ func TestRunCSVMode(t *testing.T) {
 	}
 }
 
+func TestRunJSONMode(t *testing.T) {
+	if err := run([]string{"-experiment", "verdict", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "bogus"}); err == nil {
 		t.Fatal("unknown experiment accepted")

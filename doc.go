@@ -24,6 +24,17 @@
 //     coordination, read repair and anti-entropy over in-memory or TCP
 //     transports (internal/cluster et al.).
 //
+// The clock kernel underneath all three layers stores version vectors as
+// sorted {ID, Counter} entry slices (internal/vv), not maps: iteration is
+// already in canonical encoding order, lookups are binary searches, and
+// the lattice operations (Join, Merge, Descends, Compare) are linear
+// two-pointer walks. Clone and Join are single-allocation at any width and
+// the comparison family never allocates, so clock bookkeeping stays off
+// the allocator on the request path; the wire codec encodes straight from
+// the entries and decodes into a pre-sized slice, interning replica ids so
+// a wide vector costs one string allocation per distinct id ever seen, not
+// per entry.
+//
 // Each replica's local state lives in a sharded storage engine
 // (internal/storage): keys hash onto a power-of-two array of shards, each
 // with its own RWMutex, so concurrent request handlers only contend when

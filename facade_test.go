@@ -8,7 +8,8 @@ import (
 
 func TestClockConstructors(t *testing.T) {
 	d := dvv.NewDot("A", 2)
-	past := dvv.NewContext().Set("A", 1)
+	past := dvv.NewContext()
+	past.Set("A", 1)
 	c := dvv.NewClock(d, past)
 	if c.Dot() != d || !c.Past().Equal(past) {
 		t.Fatalf("NewClock = %v", c)
@@ -16,7 +17,9 @@ func TestClockConstructors(t *testing.T) {
 	if c.Detached() {
 		t.Fatal("(A,2){A:1} is contiguous")
 	}
-	gapped := dvv.NewClock(dvv.NewDot("A", 3), dvv.NewContext().Set("A", 1))
+	gappedPast := dvv.NewContext()
+	gappedPast.Set("A", 1)
+	gapped := dvv.NewClock(dvv.NewDot("A", 3), gappedPast)
 	if !gapped.Detached() {
 		t.Fatal("(A,3){A:1} must be detached")
 	}
@@ -37,8 +40,10 @@ func TestUpdateDirect(t *testing.T) {
 }
 
 func TestJoinVV(t *testing.T) {
-	a := dvv.NewContext().Set("A", 2)
-	b := dvv.NewContext().Set("B", 3)
+	a := dvv.NewContext()
+	a.Set("A", 2)
+	b := dvv.NewContext()
+	b.Set("B", 3)
 	j := dvv.JoinVV(a, b)
 	if j.Get("A") != 2 || j.Get("B") != 3 {
 		t.Fatalf("JoinVV = %v", j)

@@ -158,9 +158,7 @@ func (h History) Dots() []dot.Dot {
 func (h History) ToVV() (vv.VV, bool) {
 	v := vv.New()
 	for d := range h {
-		if d.Counter > v[d.Node] {
-			v[d.Node] = d.Counter
-		}
+		v.MergeDot(d)
 	}
 	return v, v.Total() == uint64(len(h))
 }

@@ -137,7 +137,7 @@ func TestCompareAgreesWithVVOnContiguous(t *testing.T) {
 		v := vv.New()
 		for _, id := range ids {
 			if n := r.Intn(4); n > 0 {
-				v[id] = uint64(n)
+				v.Set(id, uint64(n))
 			}
 		}
 		return v

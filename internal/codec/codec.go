@@ -18,6 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dot"
 	"repro/internal/dvv"
@@ -52,6 +55,35 @@ func (w *Writer) Len() int { return len(w.buf) }
 
 // Reset clears the writer for reuse, retaining capacity.
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// maxPooledWriterCap caps the buffer capacity kept in the shared pool: one
+// huge message must not permanently pin a multi-megabyte buffer behind
+// every future small encode.
+const maxPooledWriterCap = 64 << 10
+
+// writerPool backs GetPooledWriter/PutPooledWriter — the one pooled
+// scratch-writer implementation shared by the request path (internal/node)
+// and the state hashing path (internal/storage).
+var writerPool = sync.Pool{
+	New: func() any { return NewWriter(256) },
+}
+
+// GetPooledWriter returns a reset scratch writer from the shared pool.
+func GetPooledWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutPooledWriter returns w to the pool. Oversized buffers are dropped so
+// the pool keeps only request-sized capacity. Callers must copy out any
+// bytes that outlive the call before putting the writer back.
+func PutPooledWriter(w *Writer) {
+	if cap(w.buf) > maxPooledWriterCap {
+		return
+	}
+	writerPool.Put(w)
+}
 
 // Uvarint appends an unsigned varint.
 func (w *Writer) Uvarint(v uint64) {
@@ -107,7 +139,10 @@ func (r *Reader) fail(err error) {
 	}
 }
 
-// Uvarint reads an unsigned varint.
+// Uvarint reads an unsigned varint. Non-minimal encodings (trailing
+// padding continuation bytes) are rejected so that every value has exactly
+// one wire form — the codec doubles as the metadata-size measurement
+// instrument, and canonical varints keep sizes and hashes deterministic.
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -119,6 +154,10 @@ func (r *Reader) Uvarint() uint64 {
 		} else {
 			r.fail(fmt.Errorf("%w: uvarint overflow", ErrCorrupt))
 		}
+		return 0
+	}
+	if n != uvarintLen(v) {
+		r.fail(fmt.Errorf("%w: non-minimal uvarint", ErrCorrupt))
 		return 0
 	}
 	r.off += n
@@ -189,21 +228,108 @@ func (r *Reader) ExpectEOF() {
 }
 
 // ---------------------------------------------------------------------------
+// Replica-id interning.
+// ---------------------------------------------------------------------------
+
+// Replica ids repeat endlessly on the wire — every vector entry and every
+// dot of every clock names one of a handful of servers — so decoding
+// `string(bytes)` per entry made wide vectors pay one string allocation per
+// entry. The intern table caches one immutable copy per distinct id; the
+// map lookup keyed by string(b) does not allocate (the compiler elides the
+// conversion for map access), so steady-state decodes allocate no id
+// strings at all.
+const (
+	// maxInternedIDs bounds the table so a hostile or fuzzed stream cannot
+	// grow it without limit; ids beyond the cap are simply allocated.
+	maxInternedIDs = 1 << 14
+	// maxInternedIDLen keeps huge ids out of the permanent table.
+	maxInternedIDLen = 128
+)
+
+// The table is copy-on-write: readers atomically load an immutable map
+// and look up without any lock or allocation (decode runs on every RPC,
+// concurrently across request handlers, so a shared mutex here would be a
+// process-global serialization point). Writers — rare: only the first
+// sighting of an id — copy the map under internWriteMu and swap it in.
+var (
+	internWriteMu sync.Mutex
+	internTab     atomic.Value // map[string]dot.ID, never mutated in place
+)
+
+func init() {
+	internTab.Store(make(map[string]dot.ID))
+}
+
+// internID returns the canonical dot.ID for the raw bytes, allocating a
+// backing string only the first time a given id is seen.
+func internID(b []byte) dot.ID {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > maxInternedIDLen {
+		return dot.ID(b)
+	}
+	tab := internTab.Load().(map[string]dot.ID)
+	if id, ok := tab[string(b)]; ok {
+		return id
+	}
+	id := dot.ID(b)
+	if len(tab) >= maxInternedIDs {
+		// Table at capacity: new ids are simply allocated, and future
+		// misses never touch the write lock.
+		return id
+	}
+	internWriteMu.Lock()
+	defer internWriteMu.Unlock()
+	cur := internTab.Load().(map[string]dot.ID)
+	if got, ok := cur[string(b)]; ok {
+		return got
+	}
+	if len(cur) >= maxInternedIDs {
+		return id
+	}
+	next := make(map[string]dot.ID, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[string(id)] = id
+	internTab.Store(next)
+	return id
+}
+
+// ID reads a length-prefixed replica id and interns it, so repeated ids
+// across entries, clocks and messages share one string allocation.
+func (r *Reader) ID() dot.ID {
+	b := r.take(r.Uvarint())
+	if b == nil {
+		return ""
+	}
+	return internID(b)
+}
+
+// uvarintLen returns the encoded width of v in bytes (1–10).
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// ---------------------------------------------------------------------------
 // Clock encodings.
 // ---------------------------------------------------------------------------
 
 // EncodeVV appends v as: uvarint count, then per entry (string id, uvarint
-// counter) in sorted id order.
+// counter). Entries are stored sorted, so the encoding is canonical with
+// no scratch sort or allocation.
 func EncodeVV(w *Writer, v vv.VV) {
-	ids := v.IDs()
-	w.Uvarint(uint64(len(ids)))
-	for _, id := range ids {
-		w.String(string(id))
-		w.Uvarint(v.Get(id))
+	w.Uvarint(uint64(len(v)))
+	for _, e := range v {
+		w.String(string(e.ID))
+		w.Uvarint(e.N)
 	}
 }
 
-// DecodeVV reads a vector encoded by EncodeVV.
+// DecodeVV reads a vector encoded by EncodeVV directly into a pre-sized
+// entry slice, validating canonical form (ids strictly ascending, counters
+// non-zero) instead of re-canonicalizing.
 func DecodeVV(r *Reader) vv.VV {
 	n := r.Uvarint()
 	if r.Err() != nil {
@@ -215,9 +341,13 @@ func DecodeVV(r *Reader) vv.VV {
 		r.fail(fmt.Errorf("%w: VV count %d exceeds input", ErrCorrupt, n))
 		return nil
 	}
-	v := make(vv.VV, n)
+	if n == 0 {
+		return nil
+	}
+	v := make(vv.VV, 0, n)
+	var prev dot.ID
 	for i := uint64(0); i < n; i++ {
-		id := dot.ID(r.String())
+		id := r.ID()
 		c := r.Uvarint()
 		if r.Err() != nil {
 			return nil
@@ -226,16 +356,25 @@ func DecodeVV(r *Reader) vv.VV {
 			r.fail(fmt.Errorf("%w: empty id or zero counter in VV", ErrCorrupt))
 			return nil
 		}
-		v[id] = c
+		if i > 0 && id <= prev {
+			r.fail(fmt.Errorf("%w: VV ids not strictly ascending (%q after %q)", ErrCorrupt, id, prev))
+			return nil
+		}
+		v = append(v, vv.Entry{ID: id, N: c})
+		prev = id
 	}
 	return v
 }
 
-// VVSize returns the exact encoded size of v in bytes.
+// VVSize returns the exact encoded size of v in bytes, computed
+// arithmetically (no throwaway encode) so metadata accounting walks stay
+// allocation-free.
 func VVSize(v vv.VV) int {
-	w := NewWriter(16 + 12*v.Len())
-	EncodeVV(w, v)
-	return w.Len()
+	n := uvarintLen(uint64(len(v)))
+	for _, e := range v {
+		n += uvarintLen(uint64(len(e.ID))) + len(e.ID) + uvarintLen(e.N)
+	}
+	return n
 }
 
 // EncodeDot appends d as (string node, uvarint counter).
@@ -244,9 +383,14 @@ func EncodeDot(w *Writer, d dot.Dot) {
 	w.Uvarint(d.Counter)
 }
 
-// DecodeDot reads a dot.
+// DecodeDot reads a dot; the node id is interned.
 func DecodeDot(r *Reader) dot.Dot {
-	return dot.Dot{Node: dot.ID(r.String()), Counter: r.Uvarint()}
+	return dot.Dot{Node: r.ID(), Counter: r.Uvarint()}
+}
+
+// DotSize returns the exact encoded size of d in bytes.
+func DotSize(d dot.Dot) int {
+	return uvarintLen(uint64(len(d.Node))) + len(d.Node) + uvarintLen(d.Counter)
 }
 
 // EncodeClock appends a DVV clock as dot + VV.
@@ -263,11 +407,9 @@ func DecodeClock(r *Reader) dvv.Clock {
 }
 
 // ClockSize returns the exact encoded size of c in bytes — the paper's
-// "metadata size" for one version under DVV.
+// "metadata size" for one version under DVV — computed arithmetically.
 func ClockSize(c dvv.Clock) int {
-	w := NewWriter(24 + 12*c.V.Len())
-	EncodeClock(w, c)
-	return w.Len()
+	return DotSize(c.D) + VVSize(c.V)
 }
 
 // EncodeClockSet appends a sibling set: uvarint count + clocks.
@@ -298,11 +440,14 @@ func DecodeClockSet(r *Reader) []dvv.Clock {
 	return out
 }
 
-// ClockSetSize returns the exact encoded metadata bytes of a sibling set.
+// ClockSetSize returns the exact encoded metadata bytes of a sibling set,
+// computed arithmetically.
 func ClockSetSize(s []dvv.Clock) int {
-	w := NewWriter(64)
-	EncodeClockSet(w, s)
-	return w.Len()
+	n := uvarintLen(uint64(len(s)))
+	for _, c := range s {
+		n += ClockSize(c)
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------

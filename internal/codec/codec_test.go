@@ -105,9 +105,13 @@ func TestVVRoundTrip(t *testing.T) {
 func TestVVEncodingDeterministic(t *testing.T) {
 	// Maps must encode identically regardless of insertion order.
 	a := vv.New()
-	a.Set("A", 1).Set("B", 2).Set("C", 3)
+	a.Set("A", 1)
+	a.Set("B", 2)
+	a.Set("C", 3)
 	b := vv.New()
-	b.Set("C", 3).Set("A", 1).Set("B", 2)
+	b.Set("C", 3)
+	b.Set("A", 1)
+	b.Set("B", 2)
 	wa, wb := NewWriter(0), NewWriter(0)
 	EncodeVV(wa, a)
 	EncodeVV(wb, b)
@@ -205,7 +209,7 @@ func TestVVRoundTripQuick(t *testing.T) {
 		v := vv.New()
 		for k, n := range m {
 			if k != "" && n > 0 {
-				v[dot.ID(k)] = uint64(n)
+				v.Set(dot.ID(k), uint64(n))
 			}
 		}
 		w := NewWriter(0)

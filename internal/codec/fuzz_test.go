@@ -1,0 +1,168 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dot"
+	"repro/internal/dvv"
+	"repro/internal/vv"
+)
+
+// encodeVVBytes is a test helper producing the canonical encoding of v.
+func encodeVVBytes(v vv.VV) []byte {
+	w := NewWriter(0)
+	EncodeVV(w, v)
+	return w.Bytes()
+}
+
+func encodeClockSetBytes(s []dvv.Clock) []byte {
+	w := NewWriter(0)
+	EncodeClockSet(w, s)
+	return w.Bytes()
+}
+
+// FuzzDecodeVV checks that DecodeVV never panics, that accepted inputs
+// re-encode to the canonical bytes and round-trip to an equal vector, and
+// that rejected inputs report an error rather than returning junk.
+func FuzzDecodeVV(f *testing.F) {
+	f.Add(encodeVVBytes(nil))
+	f.Add(encodeVVBytes(vv.From("A", 1)))
+	f.Add(encodeVVBytes(vv.From("A", 2, "B", 1, "a-much-longer-replica-name", 1<<40)))
+	f.Add([]byte{2, 1, 'B', 1, 1, 'A', 1}) // unsorted ids: must error
+	f.Add([]byte{1, 1, 'A', 0})            // zero counter: must error
+	f.Add([]byte{0xff, 0xff, 0xff})        // truncated varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		v := DecodeVV(r)
+		r.ExpectEOF()
+		if r.Err() != nil {
+			return
+		}
+		// Accepted input: the decode must be canonical and re-encode to
+		// exactly the input bytes (the format is deterministic).
+		if _, ok := vv.FromEntries(v); !ok {
+			t.Fatalf("decoded non-canonical vector %v from %x", v, data)
+		}
+		out := encodeVVBytes(v)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode mismatch: %x -> %v -> %x", data, v, out)
+		}
+		r2 := NewReader(out)
+		v2 := DecodeVV(r2)
+		if r2.Err() != nil || !v2.Equal(v) {
+			t.Fatalf("decode(encode(%v)) = %v, err %v", v, v2, r2.Err())
+		}
+	})
+}
+
+// FuzzDecodeClockSet checks the sibling-set decoder: no panics, and
+// accepted inputs round-trip value-equal through the encoder.
+func FuzzDecodeClockSet(f *testing.F) {
+	f.Add(encodeClockSetBytes(nil))
+	f.Add(encodeClockSetBytes([]dvv.Clock{
+		dvv.New(dot.New("A", 2), vv.From("A", 1)),
+		dvv.New(dot.New("B", 3), vv.From("A", 2, "B", 2)),
+	}))
+	f.Add([]byte{1, 1, 'A'})        // truncated clock
+	f.Add([]byte{0xff, 0xff, 0xff}) // truncated count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		s := DecodeClockSet(r)
+		r.ExpectEOF()
+		if r.Err() != nil {
+			return
+		}
+		out := encodeClockSetBytes(s)
+		r2 := NewReader(out)
+		s2 := DecodeClockSet(r2)
+		r2.ExpectEOF()
+		if r2.Err() != nil {
+			t.Fatalf("re-decode failed: %v", r2.Err())
+		}
+		if len(s2) != len(s) {
+			t.Fatalf("round trip length %d != %d", len(s2), len(s))
+		}
+		for i := range s {
+			if !s[i].Equal(s2[i]) {
+				t.Fatalf("clock %d: %v != %v", i, s[i], s2[i])
+			}
+		}
+	})
+}
+
+// TestSizesMatchEncodings pins the arithmetic size functions to the bytes
+// the encoders actually produce, across widths and varint boundaries.
+func TestSizesMatchEncodings(t *testing.T) {
+	vectors := []vv.VV{
+		nil,
+		vv.From("A", 1),
+		vv.From("A", 127, "B", 128, "C", 1<<14),
+		vv.From("A", uint64(1)<<63, "a-rather-long-replica-identifier", 300),
+	}
+	wideV := vv.New()
+	for i := 0; i < 300; i++ {
+		wideV.Set(dot.ID(string(rune('a'+i%26))+string(rune('a'+i/26))), uint64(i+1)<<7)
+	}
+	vectors = append(vectors, wideV)
+	for _, v := range vectors {
+		if got, want := VVSize(v), len(encodeVVBytes(v)); got != want {
+			t.Errorf("VVSize(%v) = %d, encoded length %d", v, got, want)
+		}
+	}
+
+	dots := []dot.Dot{{}, dot.New("A", 1), dot.New("node-17", 1<<56)}
+	for _, d := range dots {
+		w := NewWriter(0)
+		EncodeDot(w, d)
+		if got, want := DotSize(d), w.Len(); got != want {
+			t.Errorf("DotSize(%v) = %d, encoded length %d", d, got, want)
+		}
+	}
+
+	sets := [][]dvv.Clock{
+		nil,
+		{dvv.New(dot.New("A", 2), vv.From("A", 1))},
+		{
+			dvv.New(dot.New("A", 2), vectors[2]),
+			dvv.New(dot.New("B", 1<<21), vectors[3]),
+			dvv.New(dot.New("C", 3), wideV),
+		},
+	}
+	for _, s := range sets {
+		if got, want := ClockSetSize(s), len(encodeClockSetBytes(s)); got != want {
+			t.Errorf("ClockSetSize(%d clocks) = %d, encoded length %d", len(s), got, want)
+		}
+		for _, c := range s {
+			w := NewWriter(0)
+			EncodeClock(w, c)
+			if got, want := ClockSize(c), w.Len(); got != want {
+				t.Errorf("ClockSize(%v) = %d, encoded length %d", c, got, want)
+			}
+		}
+	}
+}
+
+// TestInternSharing checks that decoding the same replica id twice yields
+// the same backing string (the intern table hit path) and that huge ids
+// bypass the table.
+func TestInternSharing(t *testing.T) {
+	v := vv.From("shared-node", 1)
+	raw := encodeVVBytes(v)
+	a := DecodeVV(NewReader(raw))
+	b := DecodeVV(NewReader(raw))
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("decode lengths %d, %d", len(a), len(b))
+	}
+	// Interned ids must be the identical string, not merely equal.
+	if a[0].ID != b[0].ID {
+		t.Fatal("ids differ")
+	}
+	huge := make([]byte, maxInternedIDLen+1)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	if got := internID(huge); string(got) != string(huge) {
+		t.Fatal("oversized id mangled")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/codec"
+	"repro/internal/dot"
 	"repro/internal/dvv"
 	"repro/internal/vv"
 )
@@ -88,24 +89,24 @@ func (dvvMech) Sync(a, b State) State {
 	sb := mustState[DVVState]("dvv", b)
 	// Merge via the clock kernel, then reattach values by dot (dots are
 	// globally unique, so the value for a surviving dot is on whichever
-	// side carried it).
+	// side carried it). Dots are comparable and key the map directly.
 	ca := make([]dvv.Clock, len(sa))
-	byDot := make(map[string][]byte, len(sa)+len(sb))
+	byDot := make(map[dot.Dot][]byte, len(sa)+len(sb))
 	for i, v := range sa {
 		ca[i] = v.Clock
-		byDot[v.Clock.D.String()] = v.Value
+		byDot[v.Clock.D] = v.Value
 	}
 	cb := make([]dvv.Clock, len(sb))
 	for i, v := range sb {
 		cb[i] = v.Clock
-		if _, ok := byDot[v.Clock.D.String()]; !ok {
-			byDot[v.Clock.D.String()] = v.Value
+		if _, ok := byDot[v.Clock.D]; !ok {
+			byDot[v.Clock.D] = v.Value
 		}
 	}
 	merged := dvv.Sync(ca, cb)
 	out := make(DVVState, len(merged))
 	for i, c := range merged {
-		out[i] = DVVVersion{Value: byDot[c.D.String()], Clock: c}
+		out[i] = DVVVersion{Value: byDot[c.D], Clock: c}
 	}
 	return out
 }

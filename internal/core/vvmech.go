@@ -289,29 +289,23 @@ func pruneVV(tag vv.VV, cap int, keep dot.ID) vv.VV {
 	if tag.Len() <= cap {
 		return tag
 	}
-	type entry struct {
-		id dot.ID
-		n  uint64
-	}
-	entries := make([]entry, 0, tag.Len())
-	for _, id := range tag.IDs() {
-		entries = append(entries, entry{id, tag.Get(id)})
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].n != entries[j].n {
-			return entries[i].n < entries[j].n
+	order := make([]vv.Entry, len(tag))
+	copy(order, tag)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].N != order[j].N {
+			return order[i].N < order[j].N
 		}
-		return entries[i].id < entries[j].id
+		return order[i].ID < order[j].ID
 	})
 	pruned := tag.Clone()
-	for _, e := range entries {
+	for _, e := range order {
 		if pruned.Len() <= cap {
 			break
 		}
-		if e.id == keep {
+		if e.ID == keep {
 			continue
 		}
-		pruned.Set(e.id, 0)
+		pruned.Set(e.ID, 0)
 	}
 	return pruned
 }

@@ -47,8 +47,8 @@ func New(d dot.Dot, past vv.VV) Clock {
 // Dot returns the clock's identifying event.
 func (c Clock) Dot() dot.Dot { return c.D }
 
-// Past returns the clock's causal past (the vector half). The returned map
-// is the clock's own storage; treat it as read-only.
+// Past returns the clock's causal past (the vector half). The returned
+// slice is the clock's own storage; treat it as read-only.
 func (c Clock) Past() vv.VV { return c.V }
 
 // IsZero reports whether c identifies no version.
@@ -125,7 +125,7 @@ func (c Clock) Equal(o Clock) bool {
 
 // String renders the paper's notation, e.g. "(A,3)[1,0]" is printed as
 // "(A,3){A:1}" — dots keep their tuple form and the past uses the sorted
-// map notation of vv.VV.
+// bracketed notation of vv.VV.
 func (c Clock) String() string {
 	return fmt.Sprintf("%s%s", c.D, c.V)
 }

@@ -120,11 +120,17 @@ func (s *Set[V]) Dots() []dot.Dot {
 }
 
 // Join returns the causal context encoded by the set: {i: n_i}. A client
-// that read the set presents this vector on its next write.
+// that read the set presents this vector on its next write. Entries are
+// already in id order, so the vector is built in one allocation.
 func (s *Set[V]) Join() vv.VV {
-	ctx := vv.New()
+	if len(s.entries) == 0 {
+		return nil
+	}
+	ctx := make(vv.VV, 0, len(s.entries))
 	for _, e := range s.entries {
-		ctx.Set(e.ID, e.N)
+		if e.N > 0 {
+			ctx = append(ctx, vv.Entry{ID: e.ID, N: e.N})
+		}
 	}
 	return ctx
 }
@@ -143,8 +149,8 @@ func (s *Set[V]) History() causal.History {
 // exactly Sync with the valueless clock {(i, ctx[i], [])}.
 func (s *Set[V]) Discard(ctx vv.VV) {
 	o := &Set[V]{entries: make([]Entry[V], 0, ctx.Len())}
-	for _, id := range ctx.IDs() {
-		o.entries = append(o.entries, Entry[V]{ID: id, N: ctx.Get(id)})
+	for _, e := range ctx {
+		o.entries = append(o.entries, Entry[V]{ID: e.ID, N: e.N})
 	}
 	s.Sync(o)
 }

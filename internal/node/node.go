@@ -211,6 +211,14 @@ func fail(err error) transport.Response {
 	return transport.Response{Err: err.Error()}
 }
 
+// The request path reuses codec's shared writer pool so steady-state puts
+// and gets don't allocate a fresh writer (and its growth doublings) per
+// RPC. Writers handed to the transport are returned to the pool only
+// after Send returns (both transports are synchronous); encoded bodies
+// that outlive the call are copied out at their exact size.
+func getWriter() *codec.Writer  { return codec.GetPooledWriter() }
+func putWriter(w *codec.Writer) { codec.PutPooledWriter(w) }
+
 // ---------------------------------------------------------------------------
 // Client GET path.
 // ---------------------------------------------------------------------------
@@ -223,15 +231,17 @@ func EncodeGetRequest(key string) []byte {
 }
 
 // EncodeReadResult encodes sibling values plus mechanism context — the
-// body of get and put responses.
+// body of get and put responses. The scratch writer is pooled; the
+// returned slice is an exact-size copy owned by the caller.
 func EncodeReadResult(m core.Mechanism, rr core.ReadResult) []byte {
-	w := codec.NewWriter(64)
+	w := getWriter()
+	defer putWriter(w)
 	w.Uvarint(uint64(len(rr.Values)))
 	for _, v := range rr.Values {
 		w.BytesField(v)
 	}
 	m.EncodeContext(w, rr.Ctx)
-	return w.Bytes()
+	return bytes.Clone(w.Bytes())
 }
 
 // DecodeReadResult parses a body built by EncodeReadResult.
@@ -518,17 +528,21 @@ func (n *Node) handleReplGet(body []byte) transport.Response {
 		return fail(r.Err())
 	}
 	n.bump(func(s *Stats) { s.ReplGets++ })
-	w := codec.NewWriter(128)
+	w := getWriter()
+	defer putWriter(w)
 	st, ok := n.store.Snapshot(key)
 	w.Bool(ok)
 	if ok {
 		n.cfg.Mech.EncodeState(w, st)
 	}
-	return transport.Response{Body: w.Bytes()}
+	return transport.Response{Body: bytes.Clone(w.Bytes())}
 }
 
 func (n *Node) replPut(ctx context.Context, peer dot.ID, key string, st core.State) error {
-	w := codec.NewWriter(128)
+	// The body is only read inside Send (both transports are synchronous),
+	// so the pooled writer's storage can be reused as soon as it returns.
+	w := getWriter()
+	defer putWriter(w)
 	w.String(key)
 	n.cfg.Mech.EncodeState(w, st)
 	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
@@ -794,25 +808,33 @@ func (n *Node) DeliverHints(ctx context.Context) {
 		}
 		n.mu.Lock()
 		// A newer hint may have merged in since the snapshot; drop the
-		// entry only if it is still exactly what was delivered.
+		// entry only if it is still exactly what was delivered, and count a
+		// delivery only when the hint is actually retired — a superseded
+		// hint stays pending and will be counted when its newer state
+		// lands.
 		if perPeer, ok := n.hints[it.peer]; ok {
 			if cur, ok := perPeer[it.key]; ok && sameState(n.cfg.Mech, cur, it.state) {
 				delete(perPeer, it.key)
 				if len(perPeer) == 0 {
 					delete(n.hints, it.peer)
 				}
+				n.stats.HintsDelivered++
 			}
 		}
-		n.stats.HintsDelivered++
 		n.mu.Unlock()
 	}
 }
 
-// sameState compares two states by their canonical encoding.
+// sameState compares two states by their canonical encoding, using pooled
+// scratch writers instead of two fresh 128-byte buffers per compare. The
+// comparison stays exact (not a hash): its outcome gates deleting a
+// pending hint, and a collision there would silently drop an undelivered
+// state.
 func sameState(m core.Mechanism, a, b core.State) bool {
-	wa := codec.NewWriter(128)
+	wa, wb := getWriter(), getWriter()
+	defer putWriter(wa)
+	defer putWriter(wb)
 	m.EncodeState(wa, a)
-	wb := codec.NewWriter(128)
 	m.EncodeState(wb, b)
 	return bytes.Equal(wa.Bytes(), wb.Bytes())
 }

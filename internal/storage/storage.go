@@ -242,9 +242,13 @@ func HashState(m core.Mechanism, st core.State) uint64 {
 	if st == nil {
 		return 0
 	}
-	w := codec.NewWriter(128)
+	// The encoded bytes never leave this call, so the shared pooled
+	// writer is reusable the moment the hash is computed.
+	w := codec.GetPooledWriter()
 	m.EncodeState(w, st)
-	return HashEncoded(w.Bytes())
+	h := HashEncoded(w.Bytes())
+	codec.PutPooledWriter(w)
+	return h
 }
 
 // KeyHash returns a stable hash of key's encoded state, used by
@@ -258,10 +262,12 @@ func (s *Store) KeyHash(key string) uint64 {
 		sh.mu.RUnlock()
 		return 0
 	}
-	w := codec.NewWriter(128)
+	w := codec.GetPooledWriter()
 	s.mech.EncodeState(w, st)
 	sh.mu.RUnlock()
-	return HashEncoded(w.Bytes())
+	h := HashEncoded(w.Bytes())
+	codec.PutPooledWriter(w)
+	return h
 }
 
 // EncodeKey appends key's state to w; reports whether the key existed.

@@ -22,7 +22,6 @@ package svv
 
 import (
 	"hash/fnv"
-	"sort"
 
 	"repro/internal/dot"
 	"repro/internal/vv"
@@ -115,19 +114,14 @@ func (s *SVV) Compare(o *SVV) vv.Ordering {
 // fingerprint hashes the canonical (sorted) entry list. Two vectors with
 // the same fingerprint and total are equal with overwhelming probability;
 // Compare still confirms with the exact check before reporting Equal.
+// Entries are stored sorted, so no scratch id slice or sort is needed.
 func (s *SVV) fingerprint() uint64 {
-	ids := make([]dot.ID, 0, s.entries.Len())
-	for id := range s.entries {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	h := fnv.New64a()
 	var buf [8]byte
-	for _, id := range ids {
-		h.Write([]byte(id))
-		n := s.entries.Get(id)
+	for _, e := range s.entries {
+		h.Write([]byte(e.ID))
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(n >> (8 * i))
+			buf[i] = byte(e.N >> (8 * i))
 		}
 		h.Write(buf[:])
 	}

@@ -39,7 +39,7 @@ func TestCompareMatchesPlainVV(t *testing.T) {
 		v := vv.New()
 		for _, id := range []dot.ID{"A", "B", "C", "D"} {
 			if n := r.Intn(4); n > 0 {
-				v[id] = uint64(n)
+				v.Set(id, uint64(n))
 			}
 		}
 		return v

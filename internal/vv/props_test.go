@@ -1,0 +1,326 @@
+package vv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dot"
+)
+
+// refVV is the reference model for the property tests: the obvious
+// map-based version vector the slice kernel replaced. Every slice-VV
+// operation must agree with the corresponding map-side computation.
+type refVV map[dot.ID]uint64
+
+func (m refVV) toVV() VV {
+	ids := make([]dot.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	v := make(VV, 0, len(m))
+	for _, id := range ids {
+		if m[id] > 0 {
+			v = append(v, Entry{ID: id, N: m[id]})
+		}
+	}
+	return v
+}
+
+func (m refVV) clone() refVV {
+	c := make(refVV, len(m))
+	for id, n := range m {
+		c[id] = n
+	}
+	return c
+}
+
+func (m refVV) merge(o refVV) {
+	for id, n := range o {
+		if n > m[id] {
+			m[id] = n
+		}
+	}
+}
+
+func (m refVV) descends(o refVV) bool {
+	for id, n := range o {
+		if m[id] < n {
+			return false
+		}
+	}
+	return true
+}
+
+func (m refVV) compare(o refVV) Ordering {
+	ab, ba := m.descends(o), o.descends(m)
+	switch {
+	case ab && ba:
+		return Equal
+	case ab:
+		return After
+	case ba:
+		return Before
+	default:
+		return ConcurrentOrder
+	}
+}
+
+func randomRef(r *rand.Rand, ids []dot.ID, maxN int) refVV {
+	m := make(refVV)
+	for _, id := range ids {
+		if n := r.Intn(maxN + 1); n > 0 {
+			m[id] = uint64(n)
+		}
+	}
+	return m
+}
+
+// TestSliceVVAgreesWithMapReference drives random operation sequences
+// through both representations and checks every observable output matches.
+func TestSliceVVAgreesWithMapReference(t *testing.T) {
+	ids := []dot.ID{"A", "B", "C", "D", "E", "F", "G", "H"}
+	r := rand.New(rand.NewSource(2012))
+	for round := 0; round < 2000; round++ {
+		ma, mb := randomRef(r, ids, 5), randomRef(r, ids, 5)
+		a, b := ma.toVV(), mb.toVV()
+
+		if got, want := a.Compare(b), ma.compare(mb); got != want {
+			t.Fatalf("Compare(%v, %v) = %v, reference says %v", a, b, got, want)
+		}
+		if got, want := a.Descends(b), ma.descends(mb); got != want {
+			t.Fatalf("Descends(%v, %v) = %v, reference says %v", a, b, got, want)
+		}
+		if got, want := a.Equal(b), ma.compare(mb) == Equal; got != want {
+			t.Fatalf("Equal(%v, %v) = %v, reference says %v", a, b, got, want)
+		}
+
+		mj := ma.clone()
+		mj.merge(mb)
+		if got, want := Join(a, b), mj.toVV(); !got.Equal(want) {
+			t.Fatalf("Join(%v, %v) = %v, reference says %v", a, b, got, want)
+		}
+		ac := a.Clone()
+		ac.Merge(b)
+		if !ac.Equal(mj.toVV()) {
+			t.Fatalf("Merge(%v, %v) = %v, reference says %v", a, b, ac, mj.toVV())
+		}
+		// Merge must leave its argument untouched and not alias it.
+		if !b.Equal(mb.toVV()) {
+			t.Fatalf("Merge mutated its argument: %v vs %v", b, mb.toVV())
+		}
+
+		// Point lookups and dot membership across present and absent ids.
+		for _, id := range ids {
+			if got, want := a.Get(id), ma[id]; got != want {
+				t.Fatalf("Get(%v, %q) = %d, reference says %d", a, id, got, want)
+			}
+			for c := uint64(0); c <= 6; c++ {
+				d := dot.Dot{Node: id, Counter: c}
+				want := c != 0 && c <= ma[id]
+				if got := a.ContainsDot(d); got != want {
+					t.Fatalf("ContainsDot(%v, %v) = %v, reference says %v", a, d, got, want)
+				}
+			}
+		}
+
+		// Random mutation sequence applied to both sides.
+		mm, v := ma.clone(), a.Clone()
+		for op := 0; op < 8; op++ {
+			id := ids[r.Intn(len(ids))]
+			switch r.Intn(4) {
+			case 0:
+				n := uint64(r.Intn(4))
+				v.Set(id, n)
+				if n == 0 {
+					delete(mm, id)
+				} else {
+					mm[id] = n
+				}
+			case 1:
+				v.IncInPlace(id)
+				mm[id]++
+			case 2:
+				d := dot.New(id, uint64(r.Intn(6)+1))
+				v.MergeDot(d)
+				if d.Counter > mm[id] {
+					mm[id] = d.Counter
+				}
+			case 3:
+				v2, d := v.Inc(id)
+				if d.Counter != mm[id]+1 {
+					t.Fatalf("Inc dot = %v, reference counter %d", d, mm[id])
+				}
+				v = v2
+				mm[id]++
+			}
+			if want := mm.toVV(); !v.Equal(want) {
+				t.Fatalf("after op %d: %v, reference says %v", op, v, want)
+			}
+		}
+		if v.Total() != func() (t uint64) {
+			for _, n := range mm {
+				t += n
+			}
+			return
+		}() {
+			t.Fatalf("Total mismatch: %v vs %v", v, mm)
+		}
+	}
+}
+
+// TestCanonicalInvariant checks that every mutation path preserves sorted
+// strictly-ascending ids with no zero counters.
+func TestCanonicalInvariant(t *testing.T) {
+	check := func(v VV) {
+		t.Helper()
+		for i, e := range v {
+			if e.N == 0 {
+				t.Fatalf("zero counter at %d in %v", i, v)
+			}
+			if i > 0 && v[i-1].ID >= e.ID {
+				t.Fatalf("ids not strictly ascending at %d in %v", i, v)
+			}
+		}
+	}
+	r := rand.New(rand.NewSource(99))
+	ids := []dot.ID{"n1", "n2", "n3", "n4"}
+	v := New()
+	for i := 0; i < 500; i++ {
+		id := ids[r.Intn(len(ids))]
+		switch r.Intn(5) {
+		case 0:
+			v.Set(id, uint64(r.Intn(3)))
+		case 1:
+			v.IncInPlace(id)
+		case 2:
+			v.MergeDot(dot.New(id, uint64(r.Intn(5)+1)))
+		case 3:
+			v.Merge(randomRef(r, ids, 4).toVV())
+		case 4:
+			v = Join(v, randomRef(r, ids, 4).toVV())
+		}
+		check(v)
+	}
+}
+
+func TestFromEntries(t *testing.T) {
+	if _, ok := FromEntries([]Entry{{ID: "A", N: 1}, {ID: "B", N: 2}}); !ok {
+		t.Fatal("valid entries rejected")
+	}
+	for name, es := range map[string][]Entry{
+		"unsorted":  {{ID: "B", N: 1}, {ID: "A", N: 1}},
+		"duplicate": {{ID: "A", N: 1}, {ID: "A", N: 2}},
+		"zero":      {{ID: "A", N: 0}},
+		"empty id":  {{ID: "", N: 1}},
+	} {
+		if _, ok := FromEntries(es); ok {
+			t.Errorf("%s: invalid entries accepted", name)
+		}
+	}
+}
+
+// wide builds a vector with n entries in sorted order.
+func wide(n int, counter uint64) VV {
+	v := make(VV, n)
+	for i := range v {
+		v[i] = Entry{ID: dot.ID(fmt.Sprintf("s%05d", i)), N: counter}
+	}
+	return v
+}
+
+// TestKernelAllocBounds pins the allocation guarantees the request path
+// depends on: Clone and Join are single-allocation at any width, the
+// comparison family never allocates, and Merge with no new ids is free.
+func TestKernelAllocBounds(t *testing.T) {
+	for _, n := range []int{1, 16, 256, 4096} {
+		a, b := wide(n, 3), wide(n, 4)
+		d := dot.New(dot.ID(fmt.Sprintf("s%05d", n/2)), 2)
+		cases := []struct {
+			name string
+			max  float64
+			f    func()
+		}{
+			{"Clone", 1, func() { sinkVV = a.Clone() }},
+			{"Join", 1, func() { sinkVV = Join(a, b) }},
+			{"Descends", 0, func() { sinkBool = b.Descends(a) }},
+			{"Compare", 0, func() { sinkOrd = a.Compare(b) }},
+			{"Equal", 0, func() { sinkBool = a.Equal(b) }},
+			{"Get", 0, func() { sinkU64 = a.Get(d.Node) }},
+			{"ContainsDot", 0, func() { sinkBool = a.ContainsDot(d) }},
+			{"MergeExistingIDs", 0, func() { sinkVV = a.Merge(b) }},
+		}
+		for _, c := range cases {
+			if got := testing.AllocsPerRun(100, c.f); got > c.max {
+				t.Errorf("entries=%d %s: %.1f allocs/op, want ≤ %.0f", n, c.name, got, c.max)
+			}
+		}
+	}
+}
+
+var (
+	sinkVV   VV
+	sinkBool bool
+	sinkOrd  Ordering
+	sinkU64  uint64
+)
+
+func BenchmarkVVJoin(b *testing.B) {
+	for _, n := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			// Offset ids so the join is a genuine interleave, not overwrite.
+			x, y := wide(n, 3), make(VV, n)
+			for i := range y {
+				y[i] = Entry{ID: dot.ID(fmt.Sprintf("s%05d", i*2)), N: 4}
+			}
+			sort.Slice(y, func(i, j int) bool { return y[i].ID < y[j].ID })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkVV = Join(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkVVClone(b *testing.B) {
+	for _, n := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			v := wide(n, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkVV = v.Clone()
+			}
+		})
+	}
+}
+
+func BenchmarkVVDescends(b *testing.B) {
+	for _, n := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			a, v := wide(n, 3), wide(n, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkBool = v.Descends(a)
+			}
+		})
+	}
+}
+
+func BenchmarkVVGet(b *testing.B) {
+	for _, n := range []int{16, 4096} {
+		b.Run(fmt.Sprintf("entries-%d", n), func(b *testing.B) {
+			v := wide(n, 3)
+			id := dot.ID(fmt.Sprintf("s%05d", n/2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkU64 = v.Get(id)
+			}
+		})
+	}
+}

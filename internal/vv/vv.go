@@ -5,62 +5,140 @@
 // vectors are both a baseline mechanism in their own right (with one entry
 // per server, or one entry per client) and the "causal past" half of a
 // dotted version vector.
+//
+// # Representation
+//
+// A vector is a slice of {ID, Counter} entries in canonical form: sorted by
+// id, strictly ascending, with no zero counters. The paper's headline cost
+// model (O(1) causality checks, bounded per-server metadata) makes clock
+// bookkeeping — not causality — the dominant request-path cost, so the
+// kernel is written to never allocate scratch space: iteration is already
+// in encoding order, lookups are binary searches, and the lattice
+// operations are linear two-pointer merges. Riak's production dvvset
+// (CoRR abs/1011.5808) stores clocks the same way for the same reason.
+//
+// Complexity per operation (w = entries in the receiver, u = entries in the
+// argument):
+//
+//	Get, ContainsDot          O(log w)    0 allocs
+//	Set, IncInPlace, MergeDot O(w)        0 allocs unless the id is new
+//	Clone, Inc                O(w)        1 alloc
+//	Join, Merge               O(w + u)    ≤ 1 alloc (Merge: 0 when no new ids)
+//	Descends, Compare, Equal  O(w + u)    0 allocs
+//	String, IDs, Dots         O(w)        output allocation only
+//
+// The zero value (nil slice) is the empty vector and is usable directly
+// with every read-only method. Mutating methods use pointer receivers
+// because insertion may grow the slice; read-only methods use value
+// receivers. Ranging over a VV yields entries in sorted id order.
 package vv
 
 import (
-	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/dot"
 )
 
-// VV is a version vector. The zero value (nil map) is the empty vector and
-// is usable directly with every read-only method; mutating methods are
-// defined on the value returned by New or Clone, or use the functional
-// forms (Join, Inc) which never mutate their inputs.
-type VV map[dot.ID]uint64
+// Entry is one (id, counter) pair of a version vector. Canonical vectors
+// never contain N == 0.
+type Entry struct {
+	ID dot.ID
+	N  uint64
+}
 
-// New returns an empty, mutable version vector.
-func New() VV { return make(VV) }
+// VV is a version vector: entries sorted by strictly ascending id, no zero
+// counters. The zero value (nil) is the empty vector.
+type VV []Entry
+
+// New returns an empty version vector. The empty vector is nil; mutating
+// methods grow it in place via their pointer receivers.
+func New() VV { return nil }
 
 // From builds a vector from alternating (id, counter) pairs. It is intended
-// for tests and examples: From("A", 2, "B", 1) == {A:2, B:1}.
+// for tests and examples: From("A", 2, "B", 1) == {A:2, B:1}. Later pairs
+// overwrite earlier ones for the same id; zero counters are dropped.
 func From(pairs ...any) VV {
 	if len(pairs)%2 != 0 {
 		panic("vv.From: odd number of arguments")
 	}
-	v := make(VV, len(pairs)/2)
+	v := make(VV, 0, len(pairs)/2)
 	for i := 0; i < len(pairs); i += 2 {
 		id, ok := pairs[i].(string)
 		if !ok {
 			panic("vv.From: id must be a string")
 		}
-		switch n := pairs[i+1].(type) {
+		var n uint64
+		switch c := pairs[i+1].(type) {
 		case int:
-			v[dot.ID(id)] = uint64(n)
+			n = uint64(c)
 		case uint64:
-			v[dot.ID(id)] = n
+			n = c
 		default:
 			panic("vv.From: counter must be int or uint64")
 		}
+		v.Set(dot.ID(id), n)
 	}
 	return v
 }
 
-// Get returns the counter for id (0 if absent).
-func (v VV) Get(id dot.ID) uint64 { return v[id] }
-
-// Set records counter n for id, growing the map as needed, and returns v
-// for chaining. Setting 0 removes the entry so that vectors stay canonical
-// (no explicit zero entries).
-func (v VV) Set(id dot.ID, n uint64) VV {
-	if n == 0 {
-		delete(v, id)
-		return v
+// FromEntries validates es as a canonical vector (ids strictly ascending
+// and non-empty, counters non-zero) and returns it as a VV without copying.
+func FromEntries(es []Entry) (VV, bool) {
+	for i, e := range es {
+		if e.ID == "" || e.N == 0 {
+			return nil, false
+		}
+		if i > 0 && es[i-1].ID >= e.ID {
+			return nil, false
+		}
 	}
-	v[id] = n
-	return v
+	return VV(es), true
+}
+
+// search returns the index of id in v, or its insertion point with
+// ok=false.
+func (v VV) search(id dot.ID) (int, bool) {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(v) && v[lo].ID == id
+}
+
+// Get returns the counter for id (0 if absent).
+func (v VV) Get(id dot.ID) uint64 {
+	if i, ok := v.search(id); ok {
+		return v[i].N
+	}
+	return 0
+}
+
+// Set records counter n for id, growing the slice as needed. Setting 0
+// removes the entry so that vectors stay canonical (no explicit zero
+// entries).
+func (v *VV) Set(id dot.ID, n uint64) {
+	i, ok := v.search(id)
+	switch {
+	case ok && n == 0:
+		*v = append((*v)[:i], (*v)[i+1:]...)
+	case ok:
+		(*v)[i].N = n
+	case n != 0:
+		v.insertAt(i, Entry{ID: id, N: n})
+	}
+}
+
+// insertAt places e at index i, shifting the tail up by one.
+func (v *VV) insertAt(i int, e Entry) {
+	*v = append(*v, Entry{})
+	copy((*v)[i+1:], (*v)[i:])
+	(*v)[i] = e
 }
 
 // Len returns the number of non-zero entries.
@@ -69,98 +147,199 @@ func (v VV) Len() int { return len(v) }
 // IsEmpty reports whether the vector represents the empty causal history.
 func (v VV) IsEmpty() bool { return len(v) == 0 }
 
-// Clone returns an independent copy of v.
+// Clone returns an independent copy of v in exactly one allocation.
 func (v VV) Clone() VV {
-	c := make(VV, len(v))
-	for id, n := range v {
-		c[id] = n
+	if len(v) == 0 {
+		return nil
 	}
+	c := make(VV, len(v))
+	copy(c, v)
 	return c
 }
 
 // Inc returns a copy of v with id's counter incremented, together with the
 // dot of the new event. v itself is not modified.
 func (v VV) Inc(id dot.ID) (VV, dot.Dot) {
-	c := v.Clone()
-	n := c[id] + 1
-	c[id] = n
-	return c, dot.New(id, n)
+	i, ok := v.search(id)
+	if ok {
+		c := v.Clone()
+		c[i].N++
+		return c, dot.New(id, c[i].N)
+	}
+	c := make(VV, len(v)+1)
+	copy(c, v[:i])
+	c[i] = Entry{ID: id, N: 1}
+	copy(c[i+1:], v[i:])
+	return c, dot.New(id, 1)
 }
 
 // IncInPlace increments id's counter in v and returns the new event's dot.
-func (v VV) IncInPlace(id dot.ID) dot.Dot {
-	n := v[id] + 1
-	v[id] = n
-	return dot.New(id, n)
+func (v *VV) IncInPlace(id dot.ID) dot.Dot {
+	i, ok := v.search(id)
+	if ok {
+		(*v)[i].N++
+		return dot.New(id, (*v)[i].N)
+	}
+	v.insertAt(i, Entry{ID: id, N: 1})
+	return dot.New(id, 1)
 }
 
 // ContainsDot reports whether event d is in the causal history encoded by
-// v, i.e. d.Counter ≤ v[d.Node]. This is the O(1) set-membership test that
-// dotted version vectors exploit.
+// v, i.e. d.Counter ≤ v[d.Node]. This is the O(1)-per-entry set-membership
+// test that dotted version vectors exploit (O(log w) in the vector width,
+// with no allocation).
 func (v VV) ContainsDot(d dot.Dot) bool {
-	return d.Counter != 0 && d.Counter <= v[d.Node]
+	if d.Counter == 0 {
+		return false
+	}
+	i, ok := v.search(d.Node)
+	return ok && d.Counter <= v[i].N
+}
+
+// unionLen counts the distinct ids across a and b (the size of their
+// pointwise-max merge) without allocating.
+func unionLen(a, b VV) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID < b[j].ID:
+			i++
+		case a[i].ID > b[j].ID:
+			j++
+		default:
+			i++
+			j++
+		}
+		n++
+	}
+	return n + (len(a) - i) + (len(b) - j)
+}
+
+// mergeInto writes the pointwise max of a and b into dst, which must have
+// length unionLen(a, b).
+func mergeInto(dst, a, b VV) {
+	k, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID < b[j].ID:
+			dst[k] = a[i]
+			i++
+		case a[i].ID > b[j].ID:
+			dst[k] = b[j]
+			j++
+		default:
+			dst[k] = a[i]
+			if b[j].N > a[i].N {
+				dst[k].N = b[j].N
+			}
+			i++
+			j++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
 }
 
 // Join merges a and b pointwise-max into a fresh vector (the least upper
-// bound in the version-vector lattice). Neither input is modified.
+// bound in the version-vector lattice). Neither input is modified; the
+// result is built in a single exact-size allocation.
 func Join(a, b VV) VV {
-	c := make(VV, len(a)+len(b))
-	for id, n := range a {
-		c[id] = n
+	n := unionLen(a, b)
+	if n == 0 {
+		return nil
 	}
-	for id, n := range b {
-		if n > c[id] {
-			c[id] = n
-		}
-	}
+	c := make(VV, n)
+	mergeInto(c, a, b)
 	return c
 }
 
-// Merge folds b into v in place (pointwise max) and returns v.
-func (v VV) Merge(b VV) VV {
-	for id, n := range b {
-		if n > v[id] {
-			v[id] = n
-		}
+// Merge folds b into v in place (pointwise max) and returns the merged
+// vector. When every id of b is already present in v the merge is a
+// zero-allocation in-place walk; otherwise the result is rebuilt in one
+// exact-size allocation.
+func (v *VV) Merge(b VV) VV {
+	a := *v
+	if len(b) == 0 {
+		return a
 	}
-	return v
+	n := unionLen(a, b)
+	if n == len(a) {
+		i := 0
+		for _, eb := range b {
+			for a[i].ID < eb.ID {
+				i++
+			}
+			if eb.N > a[i].N {
+				a[i].N = eb.N
+			}
+		}
+		return a
+	}
+	c := make(VV, n)
+	mergeInto(c, a, b)
+	*v = c
+	return c
 }
 
 // MergeDot folds a single dot into v in place: v[d.Node] = max(v[d.Node],
 // d.Counter). Note this *loses precision* when d is not contiguous with v —
 // exactly the approximation dotted version vectors avoid by keeping the dot
 // separate. Callers that need exactness must check contiguity themselves.
-func (v VV) MergeDot(d dot.Dot) VV {
-	if d.Counter > v[d.Node] {
-		v[d.Node] = d.Counter
+func (v *VV) MergeDot(d dot.Dot) VV {
+	if d.Counter == 0 {
+		return *v
 	}
-	return v
+	i, ok := v.search(d.Node)
+	if ok {
+		if d.Counter > (*v)[i].N {
+			(*v)[i].N = d.Counter
+		}
+		return *v
+	}
+	v.insertAt(i, Entry{ID: d.Node, N: d.Counter})
+	return *v
 }
 
 // Descends reports a ≥ b: every event in b's history is in a's
-// (∀ id: a[id] ≥ b[id]). Cost is O(len(b)).
+// (∀ id: a[id] ≥ b[id]). A linear two-pointer walk: O(len(a)+len(b)), no
+// allocation.
 func (a VV) Descends(b VV) bool {
-	for id, n := range b {
-		if a[id] < n {
+	i := 0
+	for _, eb := range b {
+		for i < len(a) && a[i].ID < eb.ID {
+			i++
+		}
+		if i >= len(a) || a[i].ID != eb.ID || a[i].N < eb.N {
 			return false
 		}
+		i++
 	}
 	return true
 }
 
 // DominatesStrictly reports a > b (Descends and not equal).
 func (a VV) DominatesStrictly(b VV) bool {
-	return a.Descends(b) && !b.Descends(a)
+	return a.Descends(b) && !a.Equal(b)
 }
 
-// Equal reports pointwise equality.
+// Equal reports pointwise equality. Canonical form makes this a direct
+// entry-by-entry comparison.
 func (a VV) Equal(b VV) bool {
-	return a.Descends(b) && b.Descends(a)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Concurrent reports a ∥ b: neither descends the other.
 func (a VV) Concurrent(b VV) bool {
-	return !a.Descends(b) && !b.Descends(a)
+	return a.Compare(b) == ConcurrentOrder
 }
 
 // Ordering is the outcome of comparing two causal pasts.
@@ -190,28 +369,53 @@ func (o Ordering) String() string {
 	}
 }
 
-// Compare classifies the relation between a and b. Cost is O(len(a)+len(b)).
+// Compare classifies the relation between a and b in one two-pointer pass:
+// O(len(a)+len(b)), no allocation.
 func (a VV) Compare(b VV) Ordering {
-	ab, ba := a.Descends(b), b.Descends(a)
+	geq, leq := true, true // a ≥ b, b ≥ a
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID < b[j].ID:
+			leq = false // a has an entry b lacks
+			i++
+		case a[i].ID > b[j].ID:
+			geq = false
+			j++
+		default:
+			if a[i].N < b[j].N {
+				geq = false
+			} else if a[i].N > b[j].N {
+				leq = false
+			}
+			i++
+			j++
+		}
+	}
+	if i < len(a) {
+		leq = false
+	}
+	if j < len(b) {
+		geq = false
+	}
 	switch {
-	case ab && ba:
+	case geq && leq:
 		return Equal
-	case ab:
+	case geq:
 		return After
-	case ba:
+	case leq:
 		return Before
 	default:
 		return ConcurrentOrder
 	}
 }
 
-// IDs returns the ids with non-zero entries, sorted.
+// IDs returns the ids with non-zero entries, already in sorted order.
 func (v VV) IDs() []dot.ID {
-	ids := make([]dot.ID, 0, len(v))
-	for id := range v {
-		ids = append(ids, id)
+	ids := make([]dot.ID, len(v))
+	for i, e := range v {
+		ids[i] = e.ID
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -219,14 +423,10 @@ func (v VV) IDs() []dot.ID {
 // deterministic order. The result has Σ v[id] elements — use only for
 // small vectors (tests, the causal-history oracle).
 func (v VV) Dots() []dot.Dot {
-	var total uint64
-	for _, n := range v {
-		total += n
-	}
-	out := make([]dot.Dot, 0, total)
-	for _, id := range v.IDs() {
-		for c := uint64(1); c <= v[id]; c++ {
-			out = append(out, dot.New(id, c))
+	out := make([]dot.Dot, 0, v.Total())
+	for _, e := range v {
+		for c := uint64(1); c <= e.N; c++ {
+			out = append(out, dot.New(e.ID, c))
 		}
 	}
 	return out
@@ -235,8 +435,8 @@ func (v VV) Dots() []dot.Dot {
 // Total returns the number of events in the encoded history (Σ counters).
 func (v VV) Total() uint64 {
 	var t uint64
-	for _, n := range v {
-		t += n
+	for _, e := range v {
+		t += e.N
 	}
 	return t
 }
@@ -249,13 +449,13 @@ func (v VV) String() string {
 	}
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, id := range v.IDs() {
+	for i, e := range v {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(string(id))
+		b.WriteString(string(e.ID))
 		b.WriteByte(':')
-		b.WriteString(strconv.FormatUint(v[id], 10))
+		b.WriteString(strconv.FormatUint(e.N, 10))
 	}
 	b.WriteByte('}')
 	return b.String()

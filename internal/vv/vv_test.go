@@ -121,7 +121,8 @@ func TestJoin(t *testing.T) {
 func TestMergeDotLosesGaps(t *testing.T) {
 	// Documented behaviour: folding a detached dot into a VV widens the
 	// history — (A,3) into {} yields {A:3}, which claims (A,1),(A,2) too.
-	v := New().Set("A", 0)
+	v := New()
+	v.Set("A", 0)
 	v.MergeDot(dot.New("A", 3))
 	if v.Get("A") != 3 {
 		t.Fatalf("MergeDot = %v", v)
@@ -190,7 +191,7 @@ func randomVV(r *rand.Rand) VV {
 	v := New()
 	for _, id := range ids {
 		if n := r.Intn(4); n > 0 {
-			v[id] = uint64(n)
+			v.Set(id, uint64(n))
 		}
 	}
 	return v
@@ -251,12 +252,12 @@ func TestDescendsQuick(t *testing.T) {
 		a, b := New(), New()
 		for k, v := range am {
 			if v > 0 {
-				a[dot.ID(k)] = uint64(v)
+				a.Set(dot.ID(k), uint64(v))
 			}
 		}
 		for k, v := range bm {
 			if v > 0 {
-				b[dot.ID(k)] = uint64(v)
+				b.Set(dot.ID(k), uint64(v))
 			}
 		}
 		j := Join(a, b)

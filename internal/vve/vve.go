@@ -50,8 +50,8 @@ func New() VVE { return make(VVE) }
 // FromVV lifts a plain version vector (which has no gaps) into a VVE.
 func FromVV(v vv.VV) VVE {
 	e := make(VVE, v.Len())
-	for _, id := range v.IDs() {
-		e[id] = Entry{Base: v.Get(id)}
+	for _, ve := range v {
+		e[ve.ID] = Entry{Base: ve.N}
 	}
 	return e
 }
