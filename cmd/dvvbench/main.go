@@ -12,6 +12,8 @@
 //	dvvbench -experiment riak           # C3: cluster latency/traffic
 //	dvvbench -experiment pruning        # C4: pruning safety
 //	dvvbench -experiment ablation       # A1: DVV vs DVVSet
+//	dvvbench -experiment churn          # E1: elastic membership under writes
+//	dvvbench -churn                     # shorthand for -experiment churn
 //	dvvbench -experiment riak -csv      # CSV instead of aligned text
 //	dvvbench -json > BENCH_N.json       # machine-readable snapshot of all tables
 package main
@@ -37,7 +39,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|all")
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|all")
+		churn      = fs.Bool("churn", false, "shorthand for -experiment churn (elastic membership scenario)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
 		seed       = fs.Int64("seed", 42, "experiment seed")
@@ -124,6 +127,20 @@ func run(args []string) error {
 			cfg := sim.DefaultPruningConfig()
 			cfg.Seed = *seed
 			emit(sim.RunPruningSafety(cfg))
+		case "churn":
+			cfg := sim.DefaultChurnConfig()
+			cfg.Seed = *seed
+			if *clients > 0 {
+				cfg.Clients = *clients
+			}
+			if *shards > 0 {
+				cfg.StoreShards = *shards
+			}
+			_, table, err := sim.RunChurn(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
 		case "ablation":
 			emit(sim.RunDVVSetAblation(sim.DefaultAblationConfig()),
 				sim.RunAblationTrace(sim.DefaultAblationConfig()))
@@ -146,8 +163,11 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *churn {
+		*experiment = "churn"
+	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation"} {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

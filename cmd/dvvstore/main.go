@@ -85,12 +85,14 @@ func serve(args []string) error {
 		id     = fs.String("id", "n0", "node id")
 		listen = fs.String("listen", "127.0.0.1:7001", "listen address")
 		peers  = fs.String("peers", "", "comma-separated id=host:port list including self")
+		join   = fs.String("join", "", "host:port of an existing member to join; membership then gossips in (alternative to -peers)")
 		n      = fs.Int("n", 3, "replication degree")
 		r      = fs.Int("r", 2, "read quorum")
 		w      = fs.Int("w", 2, "write quorum")
 		ae     = fs.Duration("anti-entropy", 5*time.Second, "anti-entropy interval (0 disables)")
 		mech   = fs.String("mechanism", "dvv", "causality mechanism (dvv|dvvset|clientvv|servervv|oracle)")
 		shards = fs.Int("shards", 0, "storage lock shards, rounded up to a power of two (0 = default)")
+		sloppy = fs.Bool("sloppy", true, "sloppy quorums: unreachable replicas fall back down the ring with a hint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,28 +118,54 @@ func serve(args []string) error {
 	for peer := range addrs {
 		rg.Add(peer)
 	}
-	clamp := func(v int) int {
-		if v > len(addrs) {
-			return len(addrs)
-		}
-		return v
-	}
+	// Quorums are configured for the target replication degree, not
+	// clamped to the seed peer list: a joining node starts with a
+	// one-member ring that grows as membership gossips in.
 	nd, err := node.New(node.Config{
 		ID: dot.ID(*id), Mech: m, Transport: tcp, Ring: rg,
-		N: clamp(*n), R: clamp(*r), W: clamp(*w),
+		N: *n, R: *r, W: *w,
 		Timeout: 5 * time.Second, ReadRepair: true,
 		AntiEntropyInterval: *ae,
 		StoreShards:         *shards,
+		HintedHandoff:       true,
+		SloppyQuorum:        *sloppy,
+		SuspicionWindow:     2 * time.Second,
+		Addr:                tcp.Addr(),
 	})
 	if err != nil {
 		return err
 	}
 	defer nd.Close()
+	if *join != "" {
+		// The joiner only knows a host:port; a throwaway peer entry lets
+		// the join RPC through, and the response carries the real
+		// membership (ids and addresses).
+		const seedID = dot.ID("??join-seed")
+		tcp.SetAddr(seedID, *join)
+		jctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := nd.JoinCluster(jctx, seedID)
+		cancel()
+		tcp.Deregister(seedID)
+		if err != nil {
+			return fmt.Errorf("join %s: %w", *join, err)
+		}
+		fmt.Printf("dvvstore: joined cluster via %s: members %v\n", *join, rg.Members())
+	}
 	fmt.Printf("dvvstore: node %s serving on %s (mechanism=%s N=%d R=%d W=%d, %d members)\n",
-		*id, tcp.Addr(), *mech, clamp(*n), clamp(*r), clamp(*w), rg.Size())
+		*id, tcp.Addr(), *mech, *n, *r, *w, rg.Size())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	if rg.Size() > 1 {
+		// Graceful departure: stream owned keys to their new owners, drain
+		// hints, announce the leave.
+		fmt.Println("dvvstore: leaving cluster (handing off keys)")
+		lctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := nd.Leave(lctx); err != nil {
+			fmt.Fprintln(os.Stderr, "dvvstore: leave:", err)
+		}
+		cancel()
+	}
 	fmt.Println("dvvstore: shutting down")
 	return nil
 }

@@ -46,7 +46,20 @@
 // configurable through node.Config.StoreShards up to the cluster and CLI
 // layers; one shard reproduces the classic single-mutex store.
 //
+// The cluster is elastic: nodes join and leave at runtime
+// (cluster.AddNode/RemoveNode in-process; member.join/member.leave gossip
+// over TCP), with a handoff protocol that streams re-owned keys to their
+// new owners and sloppy quorums + hinted handoff keeping writes
+// acknowledged while members fail or depart. Dotted version vectors make
+// this safe by construction — causality is tracked per replica server, so
+// a key moving between servers keeps an exact clock.
+//
 // The experiment harness that regenerates the paper's figures lives in
 // internal/sim and is exposed through cmd/dvvbench; EXPERIMENTS.md records
 // paper-vs-measured results.
+//
+// ARCHITECTURE.md in the repository root maps every layer and walks the
+// four request lifecycles (quorum put, quorum get + read repair, hinted
+// handoff, Merkle anti-entropy) with the functions that implement them;
+// runnable usage lives in example_test.go and examples/.
 package dvv

@@ -1,8 +1,18 @@
 // Package cluster assembles replica nodes into a running store and
 // provides the client library: context-carrying sessions that route gets
 // and puts to the right coordinator over any transport. This is the
-// top-level substrate the latency/metadata experiments (C3) and the
-// examples run against.
+// top-level substrate the latency/metadata experiments (C3), the churn
+// experiment (E1) and the examples run against.
+//
+// Membership is elastic: AddNode starts a new replica, adds it to the
+// live ring and synchronously streams the keys it now owns from the
+// existing members (computed with ring.Rebalance, so only re-owned ranges
+// move); RemoveNode has the leaver push each of its keys to the key's new
+// owners and drain pending hints before it is deregistered and closed.
+// Clients route per-request off the shared ring, so traffic follows
+// membership changes automatically — a coordinator that stops owning a
+// key forwards, and sloppy quorums (Config.SloppyQuorum) keep writes
+// succeeding while a member is mid-departure.
 package cluster
 
 import (
@@ -38,12 +48,22 @@ type Config struct {
 	Timeout             time.Duration
 	Seed                int64
 
+	// SloppyQuorum lets write coordinators extend past unreachable
+	// preference-list members to ring fallbacks (see node.Config).
+	SloppyQuorum bool
+
+	// SuspicionWindow is each node's failure-suspicion window after a
+	// failed send (see node.Config); 0 disables suspicion.
+	SuspicionWindow time.Duration
+
 	// StoreShards is each node's storage lock-shard count; 0 means
 	// storage.DefaultShards.
 	StoreShards int
 }
 
 // Cluster is a set of replica nodes sharing a ring and transport.
+// Membership is elastic: AddNode and RemoveNode mutate the live ring and
+// hand the re-owned keys to their new owners while traffic continues.
 type Cluster struct {
 	Ring      *ring.Ring
 	Nodes     []*node.Node
@@ -51,9 +71,11 @@ type Cluster struct {
 	mech      core.Mechanism
 	timeout   time.Duration
 	ownsT     bool
+	cfg       Config // normalised construction config, reused by AddNode
 
 	mu      sync.Mutex
 	clients int
+	nextID  int // next auto-assigned node index
 }
 
 // NodeIDs returns the member ids in index order ("n00", "n01", ...).
@@ -76,9 +98,10 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.N < 1 {
 		cfg.N = 3
 	}
-	if cfg.N > cfg.Nodes {
-		cfg.N = cfg.Nodes
-	}
+	// N is the *target* replication degree and deliberately not clamped
+	// to the initial node count: an elastic cluster may start below N
+	// and grow into it (nodes clamp quorums to the preference-list size
+	// per request), and keys replicate wider as members join.
 	if cfg.R < 1 {
 		cfg.R = (cfg.N + 1) / 2
 	}
@@ -104,23 +127,11 @@ func New(cfg Config) (*Cluster, error) {
 		mech:      cfg.Mech,
 		timeout:   cfg.Timeout,
 		ownsT:     ownsT,
+		cfg:       cfg,
+		nextID:    cfg.Nodes,
 	}
 	for i, id := range ids {
-		n, err := node.New(node.Config{
-			ID:                  id,
-			Mech:                cfg.Mech,
-			Transport:           cfg.Transport,
-			Ring:                r,
-			N:                   cfg.N,
-			R:                   cfg.R,
-			W:                   cfg.W,
-			Timeout:             cfg.Timeout,
-			ReadRepair:          cfg.ReadRepair,
-			HintedHandoff:       cfg.HintedHandoff,
-			AntiEntropyInterval: cfg.AntiEntropyInterval,
-			StoreShards:         cfg.StoreShards,
-			Seed:                cfg.Seed + int64(i),
-		})
+		n, err := c.startNode(id, int64(i))
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: node %s: %w", id, err)
@@ -128,6 +139,128 @@ func New(cfg Config) (*Cluster, error) {
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c, nil
+}
+
+// startNode builds one replica node from the cluster's normalised config.
+func (c *Cluster) startNode(id dot.ID, seedOffset int64) (*node.Node, error) {
+	return node.New(node.Config{
+		ID:                  id,
+		Mech:                c.cfg.Mech,
+		Transport:           c.cfg.Transport,
+		Ring:                c.Ring,
+		N:                   c.cfg.N,
+		R:                   c.cfg.R,
+		W:                   c.cfg.W,
+		Timeout:             c.cfg.Timeout,
+		ReadRepair:          c.cfg.ReadRepair,
+		HintedHandoff:       c.cfg.HintedHandoff,
+		AntiEntropyInterval: c.cfg.AntiEntropyInterval,
+		StoreShards:         c.cfg.StoreShards,
+		SloppyQuorum:        c.cfg.SloppyQuorum,
+		SuspicionWindow:     c.cfg.SuspicionWindow,
+		Seed:                c.cfg.Seed + seedOffset,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership.
+// ---------------------------------------------------------------------------
+
+// AddNode starts a new replica node, adds it to the live ring and streams
+// the keys it now owns from the existing members (synchronous handoff).
+// An empty id is auto-assigned the next "nNN" name. Traffic may continue
+// throughout: the new node answers for its ranges as soon as the ring
+// includes it, and handoff states merge via Sync, so a write landing
+// mid-handoff is never lost.
+func (c *Cluster) AddNode(id dot.ID) (*node.Node, error) {
+	c.mu.Lock()
+	if id == "" {
+		for {
+			id = dot.ID(fmt.Sprintf("n%02d", c.nextID))
+			c.nextID++
+			if !containsNode(c.Nodes, id) {
+				break
+			}
+		}
+	} else if containsNode(c.Nodes, id) {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: node %s already exists", id)
+	}
+	seedOffset := int64(c.nextID) + int64(len(c.Nodes))
+	c.mu.Unlock()
+
+	n, err := c.startNode(id, seedOffset)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: add node %s: %w", id, err)
+	}
+	before := c.Ring.Clone()
+	c.Ring.Add(id)
+	movs := c.Ring.Rebalance(before, c.cfg.N)
+	moved := ring.MovedTo(movs, id)
+
+	// Every existing member streams its re-owned keys to the joiner.
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	c.mu.Lock()
+	olds := append([]*node.Node(nil), c.Nodes...)
+	c.Nodes = append(c.Nodes, n)
+	c.mu.Unlock()
+	var firstErr error
+	for _, old := range olds {
+		if _, err := old.HandoffTo(ctx, id, moved); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return n, firstErr
+}
+
+// RemoveNode gracefully removes a member: the ring drops it (re-routing
+// new traffic), the leaver streams each of its keys to the key's new
+// owners and drains its pending hints, and finally its transport
+// registration is torn down and the node closed. Acknowledged writes
+// survive because every key the leaver held reaches its new preference
+// list before the node disappears.
+func (c *Cluster) RemoveNode(id dot.ID) error {
+	c.mu.Lock()
+	idx := -1
+	for i, n := range c.Nodes {
+		if n.ID() == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no node %s", id)
+	}
+	if len(c.Nodes) == 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: refusing to remove the last node %s", id)
+	}
+	leaver := c.Nodes[idx]
+	c.Nodes = append(c.Nodes[:idx], c.Nodes[idx+1:]...)
+	c.mu.Unlock()
+
+	// Leave removes the node from the (shared) ring, hands its keys to
+	// the ranges' new owners and drains hints; the member.leave
+	// announcements it sends are no-ops here because the ring is shared.
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	err := leaver.Leave(ctx)
+	c.Transport.Deregister(id)
+	if cerr := leaver.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func containsNode(nodes []*node.Node, id dot.ID) bool {
+	for _, n := range nodes {
+		if n.ID() == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Mechanism returns the cluster's causality mechanism.

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func TestAddNodeHandsOffOwnedKeys(t *testing.T) {
+	c := newCluster(t, Config{Mech: core.NewDVV(), Nodes: 4, N: 3, R: 2, W: 2})
+	cl := c.NewClient("writer", RouteCoordinator)
+	ctx := context.Background()
+	keys := make([]string, 120)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("elastic-%03d", i)
+		if err := cl.Put(ctx, keys[i], []byte("v-"+keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n, err := c.AddNode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID() != "n04" {
+		t.Fatalf("auto id = %s, want n04", n.ID())
+	}
+	if got := c.Ring.Size(); got != 5 {
+		t.Fatalf("ring size = %d, want 5", got)
+	}
+	if len(c.Nodes) != 5 {
+		t.Fatalf("cluster nodes = %d, want 5", len(c.Nodes))
+	}
+
+	// The joiner received exactly the keys it now owns (its store may be
+	// briefly ahead if a concurrent write lands, but here traffic is quiet).
+	owned := 0
+	for _, k := range keys {
+		if c.Ring.Owns(n.ID(), k, 3) {
+			owned++
+			if _, ok := n.Store().Snapshot(k); !ok {
+				t.Fatalf("joiner misses owned key %s", k)
+			}
+		}
+	}
+	if owned == 0 {
+		t.Fatal("test needs the joiner to own at least one key")
+	}
+	if got := n.Store().Len(); got != owned {
+		t.Fatalf("joiner holds %d keys, owns %d", got, owned)
+	}
+
+	// Every value still reads back through a fresh client.
+	reader := c.NewClient("reader", RouteCoordinator)
+	for _, k := range keys {
+		vals, err := reader.Get(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sortedStrs(vals); !reflect.DeepEqual(got, []string{"v-" + k}) {
+			t.Fatalf("key %s reads %v", k, got)
+		}
+	}
+}
+
+func TestRemoveNodePreservesAllValues(t *testing.T) {
+	c := newCluster(t, Config{
+		Mech: core.NewDVV(), Nodes: 5, N: 3, R: 2, W: 2,
+		HintedHandoff: true, SloppyQuorum: true,
+	})
+	cl := c.NewClient("writer", RouteCoordinator)
+	ctx := context.Background()
+	keys := make([]string, 120)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("shrink-%03d", i)
+		if err := cl.Put(ctx, keys[i], []byte("v-"+keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	victim := c.Nodes[2].ID()
+	if err := c.RemoveNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Ring.Size(); got != 4 {
+		t.Fatalf("ring size = %d, want 4", got)
+	}
+	for _, n := range c.Nodes {
+		if n.ID() == victim {
+			t.Fatal("victim still in node list")
+		}
+	}
+	// The departed node is unreachable at the transport level.
+	if _, err := c.Transport.Send(ctx, "probe", victim, nodeStatsReq()); err == nil {
+		t.Fatal("departed node still reachable")
+	}
+
+	reader := c.NewClient("reader", RouteCoordinator)
+	for _, k := range keys {
+		vals, err := reader.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if got := sortedStrs(vals); !reflect.DeepEqual(got, []string{"v-" + k}) {
+			t.Fatalf("key %s reads %v after removal", k, got)
+		}
+	}
+}
+
+func TestRemoveNodeGuards(t *testing.T) {
+	c := newCluster(t, Config{Mech: core.NewDVV(), Nodes: 1, N: 1, R: 1, W: 1})
+	if err := c.RemoveNode("n00"); err == nil {
+		t.Fatal("removed the last node")
+	}
+	if err := c.RemoveNode("ghost"); err == nil {
+		t.Fatal("removed a non-member")
+	}
+}
+
+func TestAddNodeRejectsDuplicate(t *testing.T) {
+	c := newCluster(t, Config{Mech: core.NewDVV(), Nodes: 2, N: 2, R: 1, W: 1})
+	if _, err := c.AddNode("n01"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+// TestMembershipChangeUnderTraffic grows and shrinks the cluster while a
+// client keeps writing — the miniature of the churn experiment.
+func TestMembershipChangeUnderTraffic(t *testing.T) {
+	c := newCluster(t, Config{
+		Mech: core.NewDVV(), Nodes: 4, N: 3, R: 2, W: 2,
+		HintedHandoff: true, SloppyQuorum: true,
+		SuspicionWindow: 100 * time.Millisecond,
+	})
+	ctx := context.Background()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	// The writer goroutine owns last/total; the main goroutine reads them
+	// only after <-done.
+	last := map[string]string{}
+	total := 0
+	go func() {
+		defer close(done)
+		cl := c.NewClient("churner", RouteCoordinator)
+		seq := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			key := fmt.Sprintf("traffic-%02d", seq%16)
+			val := fmt.Sprintf("w%05d", seq)
+			// Read-modify-write chain: each write causally follows
+			// everything the client has seen on the key.
+			if _, err := cl.Get(ctx, key); err != nil {
+				continue
+			}
+			if err := cl.Put(ctx, key, []byte(val)); err != nil {
+				continue
+			}
+			last[key] = val
+			total++
+		}
+	}()
+
+	if _, err := c.AddNode(""); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := c.RemoveNode(c.Nodes[1].ID()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	<-done
+
+	if total == 0 {
+		t.Fatal("no writes acknowledged during churn")
+	}
+	// Drain hints, then verify the last acknowledged write per key is
+	// exactly what a quorum read returns.
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	for _, n := range c.Nodes {
+		if err := n.WaitHintsDrained(dctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reader := c.NewClient("verifier", RouteCoordinator)
+	for key, want := range last {
+		vals, err := reader.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		got := sortedStrs(vals)
+		if !reflect.DeepEqual(got, []string{want}) {
+			t.Fatalf("key %s = %v, want exactly [%s] (lost write or false conflict)", key, got, want)
+		}
+	}
+}
+
+func nodeStatsReq() transport.Request { return transport.Request{Method: "stats"} }

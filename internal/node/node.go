@@ -4,6 +4,23 @@
 // on read, and runs background anti-entropy. The causality mechanism is
 // pluggable (internal/core), which is how the experiments compare DVV
 // against the baselines on identical request paths.
+//
+// Membership is elastic. A node can join a running cluster (JoinCluster /
+// MethodJoin gossip) or leave it gracefully (Leave / MethodLeave); both
+// trigger the handoff protocol (HandoffTo / MethodHandoff), which streams
+// the re-owned keys to their new owners in Sync-mergeable batches, so a
+// key can move between servers without losing acknowledged writes or
+// manufacturing false concurrency — safe precisely because dotted version
+// vectors track causality per replica *server*, not per storage location.
+// Quorums clamp to the preference-list size (clampQuorum), so clusters
+// smaller than N stay operable while they grow.
+//
+// Failure handling is Dynamo-shaped: with Config.SloppyQuorum a write
+// whose home replica is unreachable extends down the ring to the first
+// healthy fallback and counts its ack toward W, leaving a hint for the
+// home replica; Config.SuspicionWindow skips recently-failed peers
+// without re-paying the timeout; and DeliverHints re-routes hints
+// addressed to departed members to each key's current owners.
 package node
 
 import (
@@ -27,13 +44,16 @@ import (
 
 // RPC method names served by a node.
 const (
-	MethodGet      = "get"       // client read
-	MethodPut      = "put"       // client write
-	MethodReplGet  = "repl.get"  // replica state fetch
-	MethodReplPut  = "repl.put"  // replica state push
-	MethodAEDiff   = "ae.diff"   // anti-entropy flat key/hash exchange
-	MethodAEDigest = "ae.digest" // anti-entropy Merkle leaf exchange
-	MethodStats    = "stats"     // operational counters
+	MethodGet      = "get"           // client read
+	MethodPut      = "put"           // client write
+	MethodReplGet  = "repl.get"      // replica state fetch
+	MethodReplPut  = "repl.put"      // replica state push
+	MethodAEDiff   = "ae.diff"       // anti-entropy flat key/hash exchange
+	MethodAEDigest = "ae.digest"     // anti-entropy Merkle leaf exchange
+	MethodStats    = "stats"         // operational counters
+	MethodHandoff  = "handoff.batch" // membership handoff: batched key/state stream
+	MethodJoin     = "member.join"   // membership gossip: a node joins
+	MethodLeave    = "member.leave"  // membership gossip: a node leaves
 )
 
 // aeDigestThreshold is the key count beyond which anti-entropy switches
@@ -74,6 +94,24 @@ type Config struct {
 	// power of two); 0 means storage.DefaultShards.
 	StoreShards int
 
+	// SloppyQuorum extends a put's replica set down the ring when a
+	// preference-list member is unreachable: the first healthy fallback
+	// beyond the preference list stores the state (its ack counts toward
+	// W) and the coordinator keeps a hint for the home replica, so writes
+	// survive node failure instead of returning quorum errors.
+	SloppyQuorum bool
+
+	// SuspicionWindow is how long a peer stays suspected after a failed
+	// send to it. Coordinators skip suspected peers (going straight to
+	// fallback + hint) instead of paying the timeout again. 0 disables
+	// suspicion.
+	SuspicionWindow time.Duration
+
+	// Addr is the node's advertised network address, carried in membership
+	// gossip so TCP peers learn how to dial a joiner. Empty for in-memory
+	// transports.
+	Addr string
+
 	// Seed makes peer selection reproducible.
 	Seed int64
 }
@@ -113,6 +151,18 @@ type Stats struct {
 	ReadRepairs, AERounds       uint64
 	QuorumFailures, Forwards    uint64
 	HintsStored, HintsDelivered uint64
+
+	// ReplFailures counts replica RPCs (repl.put during coordinated
+	// writes, fallback attempts, repl.get during coordinated reads) that
+	// failed — errors that were previously swallowed in CoordinatePut's
+	// replication goroutines.
+	ReplFailures uint64
+	// SloppyAcks counts write acks obtained from ring fallbacks while a
+	// preference-list member was unreachable (sloppy quorum).
+	SloppyAcks uint64
+	// HandoffKeys counts keys this node streamed to new owners during
+	// membership handoff.
+	HandoffKeys uint64
 }
 
 // Node is one replica server.
@@ -126,6 +176,13 @@ type Node struct {
 	// hints holds undelivered replica states per unreachable peer and
 	// key; multiple hints for the same (peer, key) merge via Sync.
 	hints map[dot.ID]map[string]core.State
+	// suspect maps peers to the end of their failure-suspicion window
+	// (set on failed sends, cleared on any successful exchange).
+	suspect map[dot.ID]time.Time
+	// departed tombstones members seen leaving, so passive membership
+	// gossip (SyncMembership) cannot resurrect them; an explicit re-join
+	// announcement clears the tombstone.
+	departed map[dot.ID]struct{}
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -140,11 +197,13 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:   cfg,
-		store: storage.NewSharded(cfg.Mech, cfg.StoreShards),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		hints: make(map[dot.ID]map[string]core.State),
-		done:  make(chan struct{}),
+		cfg:      cfg,
+		store:    storage.NewSharded(cfg.Mech, cfg.StoreShards),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		hints:    make(map[dot.ID]map[string]core.State),
+		suspect:  make(map[dot.ID]time.Time),
+		departed: make(map[dot.ID]struct{}),
+		done:     make(chan struct{}),
 	}
 	cfg.Transport.Register(cfg.ID, n.Handle)
 	if cfg.AntiEntropyInterval > 0 {
@@ -202,6 +261,12 @@ func (n *Node) Handle(ctx context.Context, from dot.ID, req transport.Request) t
 		return n.handleAEDigest(req.Body)
 	case MethodStats:
 		return n.handleStats()
+	case MethodHandoff:
+		return n.handleHandoff(req.Body)
+	case MethodJoin:
+		return n.handleJoin(req.Body)
+	case MethodLeave:
+		return n.handleLeave(req.Body)
 	default:
 		return transport.Response{Err: fmt.Sprintf("unknown method %q", req.Method)}
 	}
@@ -327,6 +392,7 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 	for range peers {
 		rep := <-ch
 		if rep.err != nil {
+			n.bump(func(s *Stats) { s.ReplFailures++ })
 			continue
 		}
 		acks++
@@ -339,9 +405,9 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 			divergent = append(divergent, rep.peer)
 		}
 	}
-	if acks < n.cfg.R {
+	if need := clampQuorum(n.cfg.R, len(pref)); acks < need {
 		n.bump(func(s *Stats) { s.QuorumFailures++ })
-		return core.ReadResult{}, fmt.Errorf("node: read quorum not reached: %d/%d", acks, n.cfg.R)
+		return core.ReadResult{}, fmt.Errorf("node: read quorum not reached: %d/%d", acks, need)
 	}
 	// Fold the merged view back into the local store so the coordinator
 	// serves monotone reads.
@@ -425,9 +491,21 @@ func (n *Node) handlePut(ctx context.Context, from dot.ID, body []byte) transpor
 	return transport.Response{Body: EncodeReadResult(n.cfg.Mech, rr)}
 }
 
+// errSuspected marks a replica skipped because it is inside its failure
+// suspicion window — treated like any other replication failure.
+var errSuspected = errors.New("node: peer suspected down")
+
 // CoordinatePut applies a client write locally, replicates the resulting
 // state to the other preference-list members, and waits for the write
 // quorum. It returns the post-write read result (Riak's return_body).
+//
+// With SloppyQuorum enabled, a preference-list member that is suspected
+// or unreachable does not cost the write its ack: the coordinator extends
+// down the ring past the preference list, stores the state on the first
+// healthy fallback (each failed home replica claims a distinct fallback)
+// and keeps a hint for the home replica, which hint delivery or
+// anti-entropy later reconciles — Dynamo's sloppy quorum + hinted
+// handoff discipline.
 func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context, value []byte, client dot.ID) (core.ReadResult, error) {
 	pref := n.cfg.Ring.Preference(key, n.cfg.N)
 	if len(pref) == 0 {
@@ -442,6 +520,28 @@ func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context,
 	}
 	state, _ := n.store.Snapshot(key)
 	peers := withoutID(pref, n.cfg.ID)
+
+	// Fallback candidates: the ring members past the preference list, in
+	// ring order from the key. Claimed one at a time so two failed home
+	// replicas never share a fallback.
+	var claimFallback func() (dot.ID, bool)
+	if n.cfg.SloppyQuorum {
+		ext := withoutID(n.cfg.Ring.Preference(key, n.cfg.Ring.Size()), n.cfg.ID)
+		fallbacks := ext[min(len(peers), len(ext)):]
+		var fbMu sync.Mutex
+		next := 0
+		claimFallback = func() (dot.ID, bool) {
+			fbMu.Lock()
+			defer fbMu.Unlock()
+			if next >= len(fallbacks) {
+				return "", false
+			}
+			fb := fallbacks[next]
+			next++
+			return fb, true
+		}
+	}
+
 	ch := make(chan error, len(peers))
 	for _, p := range peers {
 		p := p
@@ -455,27 +555,105 @@ func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context,
 			defer n.wg.Done()
 			rctx, rcancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
 			defer rcancel()
-			err := n.replPut(rctx, p, key, state)
-			if err != nil && n.cfg.HintedHandoff {
-				n.storeHint(p, key, state)
+			err := errSuspected
+			if !n.Suspected(p) {
+				err = n.replPut(rctx, p, key, state)
+			}
+			if err != nil {
+				n.bump(func(s *Stats) { s.ReplFailures++ })
+				if n.cfg.HintedHandoff {
+					n.storeHint(p, key, state)
+				}
+				for claimFallback != nil {
+					fb, ok := claimFallback()
+					if !ok {
+						break
+					}
+					if n.Suspected(fb) {
+						continue
+					}
+					// Fresh timeout budget: a home replica that failed by
+					// timing out has exhausted rctx, and the fallback must
+					// not inherit its dead deadline.
+					fctx, fcancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
+					ferr := n.replPut(fctx, fb, key, state)
+					fcancel()
+					if ferr == nil {
+						n.bump(func(s *Stats) { s.SloppyAcks++ })
+						err = nil
+						break
+					}
+					n.bump(func(s *Stats) { s.ReplFailures++ })
+				}
 			}
 			ch <- err
 		}()
 	}
+	need := clampQuorum(n.cfg.W, len(pref))
 	acks := 1 // local write
 	for range peers {
 		if err := <-ch; err == nil {
 			acks++
 		}
-		if acks >= n.cfg.W {
+		if acks >= need {
 			break
 		}
 	}
-	if acks < n.cfg.W {
+	if acks < need {
 		n.bump(func(s *Stats) { s.QuorumFailures++ })
-		return core.ReadResult{}, fmt.Errorf("node: write quorum not reached: %d/%d", acks, n.cfg.W)
+		return core.ReadResult{}, fmt.Errorf("node: write quorum not reached: %d/%d", acks, need)
 	}
 	return rr, nil
+}
+
+// clampQuorum bounds a configured quorum by the preference-list size, so
+// a cluster smaller than N (a bootstrapping single node, or one that
+// shrank) stays operable: quorums are over the replicas that exist and
+// tighten automatically as membership grows toward N.
+func clampQuorum(q, prefLen int) int {
+	if q > prefLen {
+		return prefLen
+	}
+	return q
+}
+
+// Suspected reports whether peer is inside its failure-suspicion window.
+func (n *Node) Suspected(peer dot.ID) bool {
+	if n.cfg.SuspicionWindow <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	until, ok := n.suspect[peer]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(n.suspect, peer)
+		return false
+	}
+	return true
+}
+
+// noteSendFailure starts (or extends) a peer's suspicion window after a
+// transport-level send failure.
+func (n *Node) noteSendFailure(peer dot.ID) {
+	if n.cfg.SuspicionWindow <= 0 {
+		return
+	}
+	n.mu.Lock()
+	n.suspect[peer] = time.Now().Add(n.cfg.SuspicionWindow)
+	n.mu.Unlock()
+}
+
+// notePeerOK clears a peer's suspicion after any successful exchange.
+func (n *Node) notePeerOK(peer dot.ID) {
+	if n.cfg.SuspicionWindow <= 0 {
+		return
+	}
+	n.mu.Lock()
+	delete(n.suspect, peer)
+	n.mu.Unlock()
 }
 
 func (n *Node) forwardPut(ctx context.Context, to dot.ID, key string, wctx core.Context, value []byte, client dot.ID) (core.ReadResult, error) {
@@ -504,8 +682,10 @@ func (n *Node) replGet(ctx context.Context, peer dot.ID, key string) (core.State
 		Method: MethodReplGet, Body: EncodeGetRequest(key),
 	})
 	if err != nil {
+		n.noteSendFailure(peer)
 		return nil, false, err
 	}
+	n.notePeerOK(peer)
 	if aerr := transport.AppError(resp); aerr != nil {
 		return nil, false, aerr
 	}
@@ -549,8 +729,10 @@ func (n *Node) replPut(ctx context.Context, peer dot.ID, key string, st core.Sta
 		Method: MethodReplPut, Body: w.Bytes(),
 	})
 	if err != nil {
+		n.noteSendFailure(peer)
 		return err
 	}
+	n.notePeerOK(peer)
 	return transport.AppError(resp)
 }
 
@@ -572,7 +754,7 @@ func (n *Node) handleReplPut(body []byte) transport.Response {
 func (n *Node) handleStats() transport.Response {
 	st := n.Stats()
 	w := codec.NewWriter(64)
-	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered} {
+	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys} {
 		w.Uvarint(v)
 	}
 	return transport.Response{Body: w.Bytes()}
@@ -582,7 +764,7 @@ func (n *Node) handleStats() transport.Response {
 func DecodeStats(body []byte) (Stats, error) {
 	r := codec.NewReader(body)
 	var st Stats
-	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered} {
+	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys} {
 		*p = r.Uvarint()
 	}
 	r.ExpectEOF()
@@ -620,6 +802,10 @@ func (n *Node) runAntiEntropyOnce() {
 	n.mu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
 	defer cancel()
+	// Reconcile membership first: deployments where every process keeps a
+	// private ring (the TCP path) converge on joins they missed — e.g.
+	// two nodes that joined through different members concurrently.
+	_ = n.SyncMembership(ctx, peer)
 	if n.cfg.HintedHandoff {
 		n.DeliverHints(ctx)
 	}
@@ -782,6 +968,12 @@ func (n *Node) PendingHints() int {
 // DeliverHints attempts to redeliver all pending hints; hints that reach
 // their peer are dropped, the rest are kept for the next attempt. The
 // anti-entropy tick calls this automatically.
+//
+// A hint addressed to a node that has since left the ring can never be
+// delivered directly; it is re-routed to the key's current first owner
+// (the departed node's successor for that key) — or folded into the local
+// store when this node is that owner — so membership churn drains hints
+// instead of stranding them.
 func (n *Node) DeliverHints(ctx context.Context) {
 	n.mu.Lock()
 	type item struct {
@@ -802,9 +994,27 @@ func (n *Node) DeliverHints(ctx context.Context) {
 		}
 		return todo[i].key < todo[j].key
 	})
+	members := n.cfg.Ring.Members()
 	for _, it := range todo {
-		if err := n.replPut(ctx, it.peer, it.key, it.state); err != nil {
-			continue
+		target := it.peer
+		if !containsID(members, it.peer) {
+			target = ""
+			for _, owner := range n.cfg.Ring.Preference(it.key, n.cfg.N) {
+				if owner != n.cfg.ID {
+					target = owner
+					break
+				}
+			}
+			if target == "" {
+				// This node is the key's only owner now: the hint's state
+				// folds into the local store and is retired below.
+				n.store.SyncKey(it.key, it.state)
+			}
+		}
+		if target != "" {
+			if err := n.replPut(ctx, target, it.key, it.state); err != nil {
+				continue
+			}
 		}
 		n.mu.Lock()
 		// A newer hint may have merged in since the snapshot; drop the

@@ -1,0 +1,196 @@
+package ring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/dot"
+)
+
+// checkPreference asserts a preference list is deterministic (two calls
+// agree) and free of duplicates.
+func checkPreference(t *testing.T, r *Ring, key string, n int) []dot.ID {
+	t.Helper()
+	pl := r.Preference(key, n)
+	if again := r.Preference(key, n); !reflect.DeepEqual(pl, again) {
+		t.Fatalf("Preference(%q, %d) not deterministic: %v vs %v", key, n, pl, again)
+	}
+	seen := make(map[dot.ID]bool, len(pl))
+	for _, id := range pl {
+		if seen[id] {
+			t.Fatalf("Preference(%q, %d) contains duplicate %s: %v", key, n, id, pl)
+		}
+		seen[id] = true
+	}
+	return pl
+}
+
+// TestRebalanceMinimalMovement is the ownership-movement property of
+// consistent hashing, checked through Rebalance across vnode counts
+// 1..256: on a join only the joiner gains ranges, on a leave only the
+// leaver loses them — no range ever moves between two nodes that are
+// members both before and after the change.
+func TestRebalanceMinimalMovement(t *testing.T) {
+	const n = 3
+	for _, vnodes := range []int{1, 2, 3, 5, 8, 16, 33, 64, 100, 128, 200, 256} {
+		r := New(vnodes)
+		for _, id := range nodes(5) {
+			r.Add(id)
+		}
+
+		// Join: node-05 enters.
+		before := r.Clone()
+		joiner := dot.ID("node-05")
+		r.Add(joiner)
+		movs := r.Rebalance(before, n)
+		if len(movs) == 0 {
+			t.Fatalf("vnodes=%d: join produced no movements", vnodes)
+		}
+		for _, mv := range movs {
+			if len(mv.Gained) != 1 || mv.Gained[0] != joiner {
+				t.Fatalf("vnodes=%d: join range gained %v, want only %s", vnodes, mv.Gained, joiner)
+			}
+			if len(mv.Lost) > 1 {
+				t.Fatalf("vnodes=%d: join range lost %v, want at most the pushed-out replica", vnodes, mv.Lost)
+			}
+		}
+
+		// Leave: the same node departs; the diff must be the exact inverse
+		// property (only the leaver loses ranges).
+		before = r.Clone()
+		r.Remove(joiner)
+		movs = r.Rebalance(before, n)
+		if len(movs) == 0 {
+			t.Fatalf("vnodes=%d: leave produced no movements", vnodes)
+		}
+		for _, mv := range movs {
+			if len(mv.Lost) != 1 || mv.Lost[0] != joiner {
+				t.Fatalf("vnodes=%d: leave range lost %v, want only %s", vnodes, mv.Lost, joiner)
+			}
+			if len(mv.Gained) > 1 {
+				t.Fatalf("vnodes=%d: leave range gained %v, want at most the promoted replica", vnodes, mv.Gained)
+			}
+		}
+	}
+}
+
+// TestRebalanceMatchesPreferenceDiff cross-checks Rebalance against the
+// ground truth: for a sample of keys, the per-key preference-list diff
+// between the two rings must agree with the movement ranges the key's
+// hash falls into.
+func TestRebalanceMatchesPreferenceDiff(t *testing.T) {
+	const n = 3
+	for _, vnodes := range []int{1, 7, 64, 256} {
+		old := New(vnodes)
+		cur := New(vnodes)
+		for _, id := range nodes(6) {
+			old.Add(id)
+			cur.Add(id)
+		}
+		// A compound change: one join and one leave.
+		cur.Add("node-06")
+		cur.Remove("node-01")
+		movs := cur.Rebalance(old, n)
+
+		for i := 0; i < 300; i++ {
+			key := fmt.Sprintf("xkey-%d", i)
+			before := checkPreference(t, old, key, n)
+			after := checkPreference(t, cur, key, n)
+			wantGain := diffIDs(after, before)
+			wantLost := diffIDs(before, after)
+
+			h := HashKey(key)
+			var gotGain, gotLost []dot.ID
+			for _, mv := range movs {
+				if mv.Range.Contains(h) {
+					gotGain = append(gotGain, mv.Gained...)
+					gotLost = append(gotLost, mv.Lost...)
+				}
+			}
+			if !sameIDSet(wantGain, gotGain) || !sameIDSet(wantLost, gotLost) {
+				t.Fatalf("vnodes=%d key %q: movement says gained=%v lost=%v, preference diff says gained=%v lost=%v",
+					vnodes, key, gotGain, gotLost, wantGain, wantLost)
+			}
+
+			pred := MovedTo(movs, "node-06")
+			if pred(key) != containsIDt(wantGain, "node-06") {
+				t.Fatalf("vnodes=%d key %q: MovedTo(node-06) = %v, preference diff = %v",
+					vnodes, key, pred(key), wantGain)
+			}
+		}
+	}
+}
+
+// TestRebalanceNoChangeNoMovement: a no-op diff (identical membership, or
+// the ring against itself) yields no movements.
+func TestRebalanceNoChangeNoMovement(t *testing.T) {
+	r := New(16)
+	for _, id := range nodes(4) {
+		r.Add(id)
+	}
+	if movs := r.Rebalance(r, 3); movs != nil {
+		t.Fatalf("self diff = %v", movs)
+	}
+	if movs := r.Rebalance(r.Clone(), 3); len(movs) != 0 {
+		t.Fatalf("identical-membership diff = %v", movs)
+	}
+}
+
+// TestRebalanceBootstrap: diff against an empty ring assigns everything to
+// the members of the new ring.
+func TestRebalanceBootstrap(t *testing.T) {
+	empty := New(16)
+	r := New(16)
+	r.Add("a")
+	movs := r.Rebalance(empty, 2)
+	if len(movs) == 0 {
+		t.Fatal("bootstrap produced no movements")
+	}
+	for _, mv := range movs {
+		if len(mv.Gained) != 1 || mv.Gained[0] != "a" || len(mv.Lost) != 0 {
+			t.Fatalf("bootstrap movement = %+v", mv)
+		}
+	}
+}
+
+// TestRangeContains pins the half-open wraparound semantics.
+func TestRangeContains(t *testing.T) {
+	plain := Range{Start: 100, End: 200}
+	for h, want := range map[uint64]bool{100: false, 101: true, 200: true, 201: false, 0: false} {
+		if plain.Contains(h) != want {
+			t.Fatalf("plain.Contains(%d) = %v, want %v", h, !want, want)
+		}
+	}
+	wrapped := Range{Start: ^uint64(0) - 10, End: 10}
+	for h, want := range map[uint64]bool{^uint64(0) - 10: false, ^uint64(0): true, 0: true, 10: true, 11: false} {
+		if wrapped.Contains(h) != want {
+			t.Fatalf("wrapped.Contains(%d) = %v, want %v", h, !want, want)
+		}
+	}
+	full := Range{Start: 42, End: 42}
+	if !full.Contains(0) || !full.Contains(42) {
+		t.Fatal("full-circle range must contain everything")
+	}
+}
+
+func sameIDSet(a, b []dot.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !containsIDt(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsIDt(ids []dot.ID, id dot.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -3,6 +3,16 @@
 // replica servers: each node owns many virtual points on a hash circle and
 // a key's *preference list* is the first N distinct nodes clockwise from
 // the key's hash.
+//
+// Membership is mutable at runtime: Add and Remove change the point set
+// under a write lock, and every Preference call reads the current ring, so
+// upper layers re-route automatically after a change. Rebalance computes
+// the exact ownership diff between two rings — the hash ranges whose
+// preference list changed and which nodes entered or left them — which is
+// what the handoff protocol (internal/node, internal/cluster) uses to
+// stream only the re-owned keys to their new owners. Consistent hashing
+// keeps that diff minimal: only ranges adjacent to the changed member's
+// virtual points move.
 package ring
 
 import (
@@ -47,7 +57,21 @@ func hashBytes(parts ...string) uint64 {
 		h.Write([]byte(p))
 		h.Write([]byte{0})
 	}
-	return h.Sum64()
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer. Raw FNV-1a has poor avalanche in the
+// high bits for short inputs that differ only in a trailing byte, so
+// sequential key names ("key-001", "key-002", ...) land micro-arcs apart
+// and share one preference list — skewing load and starving rebalance of
+// anything to move. The finalizer spreads them over the whole circle.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }
 
 // Add inserts a node. Adding an existing member is a no-op.
@@ -109,25 +133,7 @@ func (r *Ring) Size() int {
 func (r *Ring) Preference(key string, n int) []dot.ID {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if len(r.points) == 0 || n <= 0 {
-		return nil
-	}
-	if n > len(r.members) {
-		n = len(r.members)
-	}
-	h := hashBytes(key)
-	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	out := make([]dot.ID, 0, n)
-	seen := make(map[dot.ID]struct{}, n)
-	for i := 0; i < len(r.points) && len(out) < n; i++ {
-		p := r.points[(start+i)%len(r.points)]
-		if _, dup := seen[p.node]; dup {
-			continue
-		}
-		seen[p.node] = struct{}{}
-		out = append(out, p.node)
-	}
-	return out
+	return r.preferenceAtLocked(hashBytes(key), n)
 }
 
 // Coordinator returns the first node of the key's preference list.
@@ -147,4 +153,179 @@ func (r *Ring) Owns(node dot.ID, key string, n int) bool {
 		}
 	}
 	return false
+}
+
+// Clone returns an independent deep copy of the ring (membership snapshot
+// for Rebalance diffs).
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cp := &Ring{
+		vnodes:  r.vnodes,
+		points:  append([]point(nil), r.points...),
+		members: make(map[dot.ID]struct{}, len(r.members)),
+	}
+	for id := range r.members {
+		cp.members[id] = struct{}{}
+	}
+	return cp
+}
+
+// HashKey returns the position of a key on the hash circle — the value
+// Range.Contains tests against.
+func HashKey(key string) uint64 { return hashBytes(key) }
+
+// ---------------------------------------------------------------------------
+// Ownership diffs (Rebalance).
+// ---------------------------------------------------------------------------
+
+// Range is a half-open arc (Start, End] of the hash circle. A wrapped
+// range (Start > End) covers (Start, maxUint64] ∪ [0, End]; Start == End
+// denotes the full circle (a single-boundary ring).
+type Range struct {
+	Start, End uint64
+}
+
+// Contains reports whether hash h falls inside the arc.
+func (rg Range) Contains(h uint64) bool {
+	if rg.Start == rg.End {
+		return true // full circle
+	}
+	if rg.Start < rg.End {
+		return h > rg.Start && h <= rg.End
+	}
+	return h > rg.Start || h <= rg.End
+}
+
+// Movement is one entry of an ownership diff: keys hashing into Range are
+// now replicated on the Gained nodes and no longer on the Lost nodes.
+// Nodes present in both preference lists do not appear.
+type Movement struct {
+	Range  Range
+	Gained []dot.ID
+	Lost   []dot.ID
+}
+
+// Rebalance computes the preference-list diff implied by going from ring
+// old to ring r at replication degree n: the hash ranges whose owner set
+// changed, each with the nodes that entered (Gained) and left (Lost) its
+// preference list. Ranges with an unchanged owner set are omitted, so for
+// a single Add or Remove the result only covers arcs adjacent to the
+// changed member's virtual points — the consistent-hashing minimality
+// that makes handoff cheap.
+//
+// The diff is computed over the union of both rings' boundary points:
+// between two consecutive boundaries every key has the same preference
+// list in each ring, so per-interval membership diffs are exact.
+func (r *Ring) Rebalance(old *Ring, n int) []Movement {
+	if old == r {
+		return nil
+	}
+	// old is a pre-mutation Clone in every caller; the fixed r-then-old
+	// lock order is safe because clones are private until returned.
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	old.mu.RLock()
+	defer old.mu.RUnlock()
+
+	bounds := make([]uint64, 0, len(r.points)+len(old.points))
+	for _, p := range r.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range old.points {
+		bounds = append(bounds, p.hash)
+	}
+	if len(bounds) == 0 {
+		return nil
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+
+	var out []Movement
+	for i, end := range bounds {
+		start := bounds[(i+len(bounds)-1)%len(bounds)]
+		// end lies inside the arc (start, end], and no boundary of either
+		// ring falls strictly inside it, so end's preference list is the
+		// whole arc's.
+		before := old.preferenceAtLocked(end, n)
+		after := r.preferenceAtLocked(end, n)
+		gained := diffIDs(after, before)
+		lost := diffIDs(before, after)
+		if len(gained) == 0 && len(lost) == 0 {
+			continue
+		}
+		out = append(out, Movement{
+			Range:  Range{Start: start, End: end},
+			Gained: gained,
+			Lost:   lost,
+		})
+	}
+	return out
+}
+
+// preferenceAtLocked is Preference starting from an explicit hash; the
+// caller holds at least a read lock.
+func (r *Ring) preferenceAtLocked(h uint64, n int) []dot.ID {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]dot.ID, 0, n)
+	seen := make(map[dot.ID]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// diffIDs returns the ids in a that are absent from b (order of a kept).
+func diffIDs(a, b []dot.ID) []dot.ID {
+	var out []dot.ID
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MovedTo builds a key predicate from a Rebalance diff: it reports whether
+// the key now lives on node — i.e. the key's hash falls in a range that
+// node Gained. Handoff senders use it to select exactly the re-owned keys.
+func MovedTo(movs []Movement, node dot.ID) func(key string) bool {
+	return func(key string) bool {
+		h := hashBytes(key)
+		for _, mv := range movs {
+			if !mv.Range.Contains(h) {
+				continue
+			}
+			for _, id := range mv.Gained {
+				if id == node {
+					return true
+				}
+			}
+		}
+		return false
+	}
 }

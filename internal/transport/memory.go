@@ -82,6 +82,14 @@ func (m *Memory) Register(id dot.ID, h Handler) {
 	m.handlers[id] = h
 }
 
+// Deregister removes a node's handler; subsequent Sends to it fail with
+// ErrUnreachable (the departed node looks like a dead host).
+func (m *Memory) Deregister(id dot.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.handlers, id)
+}
+
 // Partition severs communication between a and b (both directions).
 func (m *Memory) Partition(a, b dot.ID) {
 	m.mu.Lock()

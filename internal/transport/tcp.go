@@ -96,6 +96,34 @@ func (t *TCP) SetAddr(id dot.ID, addr string) {
 	t.addrs[id] = addr
 }
 
+// Deregister forgets a peer: its address is dropped (Sends fail with
+// ErrUnreachable until a new SetAddr) and pooled connections to it are
+// closed. Deregistering self clears the handler.
+func (t *TCP) Deregister(id dot.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id == t.self {
+		t.h = nil
+		return
+	}
+	delete(t.addrs, id)
+	for _, c := range t.pool[id] {
+		c.Close()
+	}
+	delete(t.pool, id)
+}
+
+// Peers returns the current id→address map (a copy), including self.
+func (t *TCP) Peers() map[dot.ID]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[dot.ID]string, len(t.addrs))
+	for id, a := range t.addrs {
+		out[id] = a
+	}
+	return out
+}
+
 func (t *TCP) acceptLoop(ln net.Listener) {
 	defer t.wg.Done()
 	for {

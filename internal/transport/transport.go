@@ -46,8 +46,26 @@ type Transport interface {
 	// Register installs the handler for node id, replacing any previous
 	// registration.
 	Register(id dot.ID, h Handler)
+	// Deregister removes node id from the peer set: its handler (if any)
+	// is dropped and subsequent Sends to it fail with ErrUnreachable.
+	// Deregistering an unknown id is a no-op. Cluster membership changes
+	// call this when a node leaves.
+	Deregister(id dot.ID)
 	// Close releases transport resources; in-flight Sends may fail.
 	Close() error
+}
+
+// AddrBook is implemented by transports that address peers by network
+// location (the TCP transport); the membership gossip uses it to teach a
+// transport about joining peers and to share the addresses it knows. The
+// in-memory transport has no addresses and does not implement it.
+type AddrBook interface {
+	// SetAddr records or updates a peer's dialable address.
+	SetAddr(id dot.ID, addr string)
+	// Addr returns this transport's own advertised address.
+	Addr() string
+	// Peers returns the current id→address map (a copy), including self.
+	Peers() map[dot.ID]string
 }
 
 // ErrUnreachable reports that the destination is not registered, the

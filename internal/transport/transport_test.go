@@ -302,3 +302,46 @@ func TestAppError(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestMemoryDeregister(t *testing.T) {
+	m := NewMemory(MemoryConfig{})
+	defer m.Close()
+	m.Register("a", func(ctx context.Context, from dot.ID, req Request) Response {
+		return Response{Body: []byte("ok")}
+	})
+	if _, err := m.Send(context.Background(), "x", "a", Request{Method: "ping"}); err != nil {
+		t.Fatalf("send before deregister: %v", err)
+	}
+	m.Deregister("a")
+	if _, err := m.Send(context.Background(), "x", "a", Request{Method: "ping"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("send after deregister: err = %v, want ErrUnreachable", err)
+	}
+	m.Deregister("a") // no-op
+}
+
+func TestTCPDeregisterAndPeers(t *testing.T) {
+	srv := NewTCP("srv", map[dot.ID]string{"srv": "127.0.0.1:0"})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Register("srv", func(ctx context.Context, from dot.ID, req Request) Response {
+		return Response{Body: []byte("pong")}
+	})
+
+	cli := NewTCP("cli", map[dot.ID]string{"cli": ""})
+	defer cli.Close()
+	cli.SetAddr("srv", srv.Addr())
+	if got := cli.Peers()["srv"]; got != srv.Addr() {
+		t.Fatalf("Peers()[srv] = %q, want %q", got, srv.Addr())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := cli.Send(ctx, "cli", "srv", Request{Method: "ping"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	cli.Deregister("srv")
+	if _, err := cli.Send(ctx, "cli", "srv", Request{Method: "ping"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("send after deregister: err = %v, want ErrUnreachable", err)
+	}
+}
