@@ -39,7 +39,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|all")
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|all")
 		churn      = fs.Bool("churn", false, "shorthand for -experiment churn (elastic membership scenario)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
@@ -141,6 +141,28 @@ func run(args []string) error {
 				return err
 			}
 			emit(table)
+		case "crash":
+			cfg := sim.DefaultCrashConfig()
+			cfg.Seed = *seed
+			if *clients > 0 {
+				cfg.Clients = *clients
+			}
+			if *shards > 0 {
+				cfg.StoreShards = *shards
+			}
+			_, table, err := sim.RunCrash(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
+		case "durability":
+			cfg := sim.DefaultDurabilityConfig()
+			cfg.Seed = *seed
+			table, err := sim.RunDurabilityOverhead(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
 		case "ablation":
 			emit(sim.RunDVVSetAblation(sim.DefaultAblationConfig()),
 				sim.RunAblationTrace(sim.DefaultAblationConfig()))
@@ -167,7 +189,7 @@ func run(args []string) error {
 		*experiment = "churn"
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn"} {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -54,6 +54,14 @@
 // this safe by construction — causality is tracked per replica server, so
 // a key moving between servers keeps an exact clock.
 //
+// Replicas are crash-safe when given a data directory (storage.Open,
+// node.Config.DataDir, dvvstore -data): every mutation is written ahead
+// to a CRC-framed, group-committed log before it is installed or acked,
+// checkpoints write atomic snapshots and truncate the log, and recovery
+// replays snapshot-then-WAL through the mechanism's Sync merge —
+// idempotent, torn-tail tolerant, and dot-counter safe, so a restarted
+// replica never re-mints a dot it issued before the crash.
+//
 // The experiment harness that regenerates the paper's figures lives in
 // internal/sim and is exposed through cmd/dvvbench; EXPERIMENTS.md records
 // paper-vs-measured results.

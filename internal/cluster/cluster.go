@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -59,6 +60,20 @@ type Config struct {
 	// StoreShards is each node's storage lock-shard count; 0 means
 	// storage.DefaultShards.
 	StoreShards int
+
+	// DataRoot enables durable storage: each node persists to
+	// <DataRoot>/<id> with a write-ahead log and atomic snapshots, and a
+	// node restarted via RestartNode recovers its pre-crash state from
+	// there. Empty means in-memory nodes.
+	DataRoot string
+
+	// Fsync makes every WAL commit fsync before a write is acknowledged
+	// (only meaningful with DataRoot).
+	Fsync bool
+
+	// RepairConcurrency caps each node's background repair goroutines
+	// (see node.Config); 0 means node.DefaultRepairConcurrency.
+	RepairConcurrency int
 }
 
 // Cluster is a set of replica nodes sharing a ring and transport.
@@ -76,6 +91,13 @@ type Cluster struct {
 	mu      sync.Mutex
 	clients int
 	nextID  int // next auto-assigned node index
+	// seedSeq is a monotone counter behind every post-startup seed offset,
+	// so concurrent AddNode/RestartNode calls can never hand two nodes the
+	// same RNG stream (len(c.Nodes) alone can repeat across races).
+	seedSeq int64
+	// restarting reserves ids mid-RestartNode so two concurrent calls
+	// cannot both pass the not-running check and double-open one data dir.
+	restarting map[dot.ID]bool
 }
 
 // NodeIDs returns the member ids in index order ("n00", "n01", ...).
@@ -122,13 +144,15 @@ func New(cfg Config) (*Cluster, error) {
 		r.Add(id)
 	}
 	c := &Cluster{
-		Ring:      r,
-		Transport: cfg.Transport,
-		mech:      cfg.Mech,
-		timeout:   cfg.Timeout,
-		ownsT:     ownsT,
-		cfg:       cfg,
-		nextID:    cfg.Nodes,
+		Ring:       r,
+		Transport:  cfg.Transport,
+		mech:       cfg.Mech,
+		timeout:    cfg.Timeout,
+		ownsT:      ownsT,
+		cfg:        cfg,
+		nextID:     cfg.Nodes,
+		seedSeq:    int64(cfg.Nodes), // startup nodes used offsets 0..Nodes-1
+		restarting: make(map[dot.ID]bool),
 	}
 	for i, id := range ids {
 		n, err := c.startNode(id, int64(i))
@@ -142,7 +166,13 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // startNode builds one replica node from the cluster's normalised config.
+// With Config.DataRoot the node opens (or recovers) its durable store
+// under <DataRoot>/<id> before serving.
 func (c *Cluster) startNode(id dot.ID, seedOffset int64) (*node.Node, error) {
+	dataDir := ""
+	if c.cfg.DataRoot != "" {
+		dataDir = filepath.Join(c.cfg.DataRoot, string(id))
+	}
 	return node.New(node.Config{
 		ID:                  id,
 		Mech:                c.cfg.Mech,
@@ -158,6 +188,9 @@ func (c *Cluster) startNode(id dot.ID, seedOffset int64) (*node.Node, error) {
 		StoreShards:         c.cfg.StoreShards,
 		SloppyQuorum:        c.cfg.SloppyQuorum,
 		SuspicionWindow:     c.cfg.SuspicionWindow,
+		RepairConcurrency:   c.cfg.RepairConcurrency,
+		DataDir:             dataDir,
+		Fsync:               c.cfg.Fsync,
 		Seed:                c.cfg.Seed + seedOffset,
 	})
 }
@@ -178,15 +211,16 @@ func (c *Cluster) AddNode(id dot.ID) (*node.Node, error) {
 		for {
 			id = dot.ID(fmt.Sprintf("n%02d", c.nextID))
 			c.nextID++
-			if !containsNode(c.Nodes, id) {
+			if !containsNode(c.Nodes, id) && !c.restarting[id] {
 				break
 			}
 		}
-	} else if containsNode(c.Nodes, id) {
+	} else if containsNode(c.Nodes, id) || c.restarting[id] {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("cluster: node %s already exists", id)
 	}
-	seedOffset := int64(c.nextID) + int64(len(c.Nodes))
+	c.seedSeq++
+	seedOffset := c.seedSeq
 	c.mu.Unlock()
 
 	n, err := c.startNode(id, seedOffset)
@@ -252,6 +286,74 @@ func (c *Cluster) RemoveNode(id dot.ID) error {
 		err = cerr
 	}
 	return err
+}
+
+// KillNode simulates a crash: the node is torn from the transport and
+// closed with NO graceful leave — no handoff, no hint drain, and it stays
+// in the ring (a crashed host is not a membership change; sloppy quorums
+// and hints carry its share of writes meanwhile). Its data directory is
+// untouched, so RestartNode can recover it. Contrast RemoveNode, the
+// graceful path.
+func (c *Cluster) KillNode(id dot.ID) error {
+	c.mu.Lock()
+	idx := -1
+	for i, n := range c.Nodes {
+		if n.ID() == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no node %s", id)
+	}
+	victim := c.Nodes[idx]
+	c.Nodes = append(c.Nodes[:idx], c.Nodes[idx+1:]...)
+	// Reserve the id for the whole teardown: a concurrent RestartNode
+	// slipping in between the unlock and the Deregister below would have
+	// its fresh registration torn down (and its store blocked on the
+	// victim's still-held flock).
+	c.restarting[id] = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.restarting, id)
+		c.mu.Unlock()
+	}()
+	// Deregister first so no new request reaches the corpse, then close
+	// (which waits out in-flight background work and closes the store).
+	c.Transport.Deregister(id)
+	return victim.Close()
+}
+
+// RestartNode resurrects a killed node with the same id: with a DataRoot
+// the replica recovers its pre-crash store (snapshot + WAL replay) before
+// serving, rejoining with every acknowledged write it ever persisted and
+// dot counters that cannot collide with those it issued before the crash.
+func (c *Cluster) RestartNode(id dot.ID) (*node.Node, error) {
+	c.mu.Lock()
+	if containsNode(c.Nodes, id) || c.restarting[id] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: node %s is running", id)
+	}
+	c.restarting[id] = true
+	c.seedSeq++
+	seedOffset := c.seedSeq
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.restarting, id)
+		c.mu.Unlock()
+	}()
+	n, err := c.startNode(id, seedOffset)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: restart node %s: %w", id, err)
+	}
+	c.Ring.Add(id) // no-op after a crash (never removed), needed after RemoveNode
+	c.mu.Lock()
+	c.Nodes = append(c.Nodes, n)
+	c.mu.Unlock()
+	return n, nil
 }
 
 func containsNode(nodes []*node.Node, id dot.ID) bool {

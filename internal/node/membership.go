@@ -115,7 +115,12 @@ func (n *Node) handleHandoff(body []byte) transport.Response {
 		if err != nil {
 			return fail(err)
 		}
-		n.store.SyncKey(key, st)
+		// Handoff acks are durability promises like repl.put acks: the
+		// sender retires its copy trusting them, so a state that cannot be
+		// persisted must fail the batch.
+		if err := n.store.SyncKey(key, st); err != nil {
+			return fail(err)
+		}
 		n.bump(func(s *Stats) { s.ReplPuts++ })
 	}
 	r.ExpectEOF()
@@ -257,6 +262,10 @@ func (n *Node) handleJoin(body []byte) transport.Response {
 		}
 	} else {
 		delete(n.departed, id)
+		// A direct announcement means the node is alive right now; stale
+		// suspicion from before its departure must not make coordinators
+		// skip it.
+		delete(n.suspect, id)
 	}
 	n.mu.Unlock()
 	if ab, ok := n.cfg.Transport.(transport.AddrBook); ok && addr != "" {
@@ -273,7 +282,9 @@ func (n *Node) handleJoin(body []byte) transport.Response {
 				continue
 			}
 			m := m
-			n.wg.Add(1)
+			if !n.track() {
+				break
+			}
 			go func() {
 				defer n.wg.Done()
 				fctx, cancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
@@ -294,8 +305,7 @@ func (n *Node) handleJoin(body []byte) transport.Response {
 	// re-announcements skip the scan). Handoff runs in the background so
 	// the join ack is immediate; Sync-idempotence makes any overlap with
 	// live writes safe.
-	if !already && id != n.cfg.ID {
-		n.wg.Add(1)
+	if !already && id != n.cfg.ID && n.track() {
 		go func() {
 			defer n.wg.Done()
 			hctx, cancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
@@ -321,11 +331,24 @@ func (n *Node) handleLeave(body []byte) transport.Response {
 		return transport.Response{Err: "leave: cannot evict self"}
 	}
 	// Tombstone first so membership gossip racing with the leave cannot
-	// re-add the departing node.
+	// re-add the departing node. Per-peer failure state goes with it: a
+	// departed member can never be probed again, so its suspicion entry
+	// would otherwise leak forever (suspicions are only pruned on the
+	// Suspected read path, which no one takes for a non-member).
 	n.mu.Lock()
 	n.departed[id] = struct{}{}
+	delete(n.suspect, id)
+	hasHints := len(n.hints[id]) > 0
 	n.mu.Unlock()
 	n.cfg.Ring.Remove(id)
+	// Hints addressed to the departed peer can never be delivered directly
+	// any more; kick a bounded background redelivery so DeliverHints
+	// re-routes them to the keys' current owners now instead of waiting
+	// for the next anti-entropy tick (which a hint-holding node might not
+	// even run).
+	if hasHints {
+		n.admitBackground(func(ctx context.Context) { n.DeliverHints(ctx) })
+	}
 	// Forget the peer at the transport level too (drops TCP addresses and
 	// pooled connections); the in-memory transport is shared, so only the
 	// leaver deregisters its own handler there.

@@ -107,6 +107,28 @@ type Config struct {
 	// suspicion.
 	SuspicionWindow time.Duration
 
+	// DataDir enables durable storage: the node's store is opened with
+	// storage.Open (write-ahead log + atomic snapshots) in this directory
+	// and recovers its pre-crash state — including every per-key dot
+	// counter it ever issued — on restart. Empty means in-memory only.
+	DataDir string
+
+	// Fsync makes every WAL commit fsync before a write is acknowledged
+	// (only meaningful with DataDir). Off, a crash can lose the unsynced
+	// log tail — never a torn record, but possibly acked writes, and with
+	// them the dot counters backing writes peers already replicated: a
+	// recovered replica can then re-mint a dot another replica holds with
+	// a different value (see storage.Options.Fsync). Durability *and*
+	// causality correctness across crashes require Fsync on.
+	Fsync bool
+
+	// RepairConcurrency caps concurrent background repair/redelivery
+	// goroutines (read repair pushes, post-leave hint re-routing). At the
+	// cap, further repairs are dropped and counted in Stats.RepairsDropped
+	// — anti-entropy reconverges what a dropped repair would have fixed.
+	// 0 means DefaultRepairConcurrency.
+	RepairConcurrency int
+
 	// Addr is the node's advertised network address, carried in membership
 	// gossip so TCP peers learn how to dial a joiner. Empty for in-memory
 	// transports.
@@ -141,8 +163,17 @@ func (c *Config) validate() error {
 	if c.StoreShards < 1 {
 		c.StoreShards = storage.DefaultShards
 	}
+	if c.RepairConcurrency < 1 {
+		c.RepairConcurrency = DefaultRepairConcurrency
+	}
 	return nil
 }
+
+// DefaultRepairConcurrency bounds background repair goroutines per node: a
+// slow or dead peer makes each repair push hang for the full node timeout,
+// and without a cap every divergent read would park another goroutine on
+// it. See Config.RepairConcurrency.
+const DefaultRepairConcurrency = 16
 
 // Stats are a node's operational counters.
 type Stats struct {
@@ -163,12 +194,19 @@ type Stats struct {
 	// HandoffKeys counts keys this node streamed to new owners during
 	// membership handoff.
 	HandoffKeys uint64
+	// RepairsDropped counts background repair/redelivery tasks shed
+	// because RepairConcurrency workers were already in flight.
+	RepairsDropped uint64
 }
 
 // Node is one replica server.
 type Node struct {
 	cfg   Config
 	store *storage.Store
+
+	// repairSem admits background repair goroutines (read repair,
+	// post-leave hint re-routing) up to Config.RepairConcurrency.
+	repairSem chan struct{}
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -183,27 +221,63 @@ type Node struct {
 	// gossip (SyncMembership) cannot resurrect them; an explicit re-join
 	// announcement clears the tombstone.
 	departed map[dot.ID]struct{}
+	// closing gates track(): once Close has begun, no new background work
+	// may register with the WaitGroup (a bare wg.Add racing Close's
+	// wg.Wait is a documented WaitGroup misuse the race detector flags).
+	closing bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
 	stop sync.Once
 }
 
+// track registers one unit of background work, unless shutdown has begun.
+// Every handler-path `go` statement must pass through here: Close flips
+// closing under the same mutex before it waits, so an Add can never race
+// the Wait — work either registered before shutdown (and is awaited) or
+// observes closing and is skipped.
+func (n *Node) track() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closing {
+		return false
+	}
+	n.wg.Add(1)
+	return true
+}
+
 // New creates a node, registers its RPC handler on the transport, and
 // starts the anti-entropy loop if configured. Callers own the ring
-// membership (add the node id before serving traffic).
+// membership (add the node id before serving traffic). With
+// Config.DataDir set, the store is opened durably and any pre-crash state
+// in the directory is recovered before the node serves a single request,
+// so a restarted replica rejoins with its replica id backed by every dot
+// it ever durably issued.
 func New(cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	var st *storage.Store
+	if cfg.DataDir != "" {
+		var err error
+		st, err = storage.Open(cfg.Mech, storage.Options{
+			Dir: cfg.DataDir, Shards: cfg.StoreShards, Fsync: cfg.Fsync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", cfg.ID, err)
+		}
+	} else {
+		st = storage.NewSharded(cfg.Mech, cfg.StoreShards)
+	}
 	n := &Node{
-		cfg:      cfg,
-		store:    storage.NewSharded(cfg.Mech, cfg.StoreShards),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		hints:    make(map[dot.ID]map[string]core.State),
-		suspect:  make(map[dot.ID]time.Time),
-		departed: make(map[dot.ID]struct{}),
-		done:     make(chan struct{}),
+		cfg:       cfg,
+		store:     st,
+		repairSem: make(chan struct{}, cfg.RepairConcurrency),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		hints:     make(map[dot.ID]map[string]core.State),
+		suspect:   make(map[dot.ID]time.Time),
+		departed:  make(map[dot.ID]struct{}),
+		done:      make(chan struct{}),
 	}
 	cfg.Transport.Register(cfg.ID, n.Handle)
 	if cfg.AntiEntropyInterval > 0 {
@@ -233,11 +307,17 @@ func (n *Node) bump(f func(*Stats)) {
 	n.mu.Unlock()
 }
 
-// Close stops background work and waits for it.
+// Close stops background work, waits for it, and closes the store (which
+// flushes and closes the WAL on durable nodes).
 func (n *Node) Close() error {
-	n.stop.Do(func() { close(n.done) })
+	n.stop.Do(func() {
+		n.mu.Lock()
+		n.closing = true
+		n.mu.Unlock()
+		close(n.done)
+	})
 	n.wg.Wait()
-	return nil
+	return n.store.Close()
 }
 
 // ---------------------------------------------------------------------------
@@ -389,6 +469,8 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 		}()
 	}
 	divergent := make([]dot.ID, 0, len(peers))
+	var missing []dot.ID
+	anyState := localHash != 0
 	for range peers {
 		rep := <-ch
 		if rep.err != nil {
@@ -397,21 +479,39 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 		}
 		acks++
 		if rep.found {
+			anyState = true
 			merged = n.cfg.Mech.Sync(merged, rep.state)
+			// A peer is divergent if its state hash differs from ours; the
+			// precise check happens again at repair time via Sync.
+			if storage.HashState(n.cfg.Mech, rep.state) != localHash {
+				divergent = append(divergent, rep.peer)
+			}
+		} else {
+			missing = append(missing, rep.peer)
 		}
-		// A peer is divergent if its state hash differs from ours; the
-		// precise check happens again at repair time via Sync.
-		if !rep.found || storage.HashState(n.cfg.Mech, rep.state) != localHash {
-			divergent = append(divergent, rep.peer)
-		}
+	}
+	// Peers missing the key are divergent only if *someone* holds state
+	// for it (then repair populates them). When every replica is missing
+	// it, the read is a miss and must stay a pure no-op: treating mutual
+	// absence as divergence would make every absent-key read install
+	// empty states (and WAL records, and repair pushes) on all replicas.
+	if anyState {
+		divergent = append(divergent, missing...)
 	}
 	if need := clampQuorum(n.cfg.R, len(pref)); acks < need {
 		n.bump(func(s *Stats) { s.QuorumFailures++ })
 		return core.ReadResult{}, fmt.Errorf("node: read quorum not reached: %d/%d", acks, need)
 	}
 	// Fold the merged view back into the local store so the coordinator
-	// serves monotone reads.
-	n.store.SyncKey(key, merged)
+	// serves monotone reads. When every peer matched the local hash the
+	// merge is a no-op and is skipped entirely — on durable stores this is
+	// what keeps steady-state reads from appending to the WAL. A fold that
+	// cannot persist (WAL failure) does not fail the read: the client still
+	// gets the merged view, and monotonicity re-establishes via the next
+	// exchange.
+	if len(divergent) > 0 {
+		_ = n.store.SyncKey(key, merged)
+	}
 	if n.cfg.ReadRepair && len(divergent) > 0 {
 		n.repairAsync(key, merged, divergent)
 	}
@@ -434,13 +534,39 @@ func (n *Node) forwardGet(ctx context.Context, to dot.ID, key string) (core.Read
 	return DecodeReadResult(n.cfg.Mech, resp.Body)
 }
 
-func (n *Node) repairAsync(key string, merged core.State, peers []dot.ID) {
-	states := n.cfg.Mech.CloneState(merged)
-	n.wg.Add(1)
+// admitBackground admits one background repair/redelivery task through
+// the bounded pool and runs it in a tracked goroutine with a node-timeout
+// context. Each such task can hang for the full timeout on a dead peer,
+// so an uncapped fan-out would accumulate goroutines without bound; at
+// the cap (or once shutdown has begun) the task is shed and counted in
+// Stats.RepairsDropped — anti-entropy reconverges whatever it would have
+// fixed.
+func (n *Node) admitBackground(run func(ctx context.Context)) bool {
+	select {
+	case n.repairSem <- struct{}{}:
+	default:
+		n.bump(func(s *Stats) { s.RepairsDropped++ })
+		return false
+	}
+	if !n.track() {
+		<-n.repairSem
+		return false
+	}
 	go func() {
 		defer n.wg.Done()
+		defer func() { <-n.repairSem }()
 		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
 		defer cancel()
+		run(ctx)
+	}()
+	return true
+}
+
+// repairAsync pushes the merged state to divergent replicas in the
+// background, through the bounded pool above.
+func (n *Node) repairAsync(key string, merged core.State, peers []dot.ID) {
+	states := n.cfg.Mech.CloneState(merged)
+	n.admitBackground(func(ctx context.Context) {
 		for _, p := range peers {
 			select {
 			case <-n.done:
@@ -451,7 +577,7 @@ func (n *Node) repairAsync(key string, merged core.State, peers []dot.ID) {
 				n.bump(func(s *Stats) { s.ReadRepairs++ })
 			}
 		}
-	}()
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +620,9 @@ func (n *Node) handlePut(ctx context.Context, from dot.ID, body []byte) transpor
 // errSuspected marks a replica skipped because it is inside its failure
 // suspicion window — treated like any other replication failure.
 var errSuspected = errors.New("node: peer suspected down")
+
+// errShuttingDown marks work refused because Close has begun.
+var errShuttingDown = errors.New("node: shutting down")
 
 // CoordinatePut applies a client write locally, replicates the resulting
 // state to the other preference-list members, and waits for the write
@@ -550,7 +679,12 @@ func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context,
 		// node timeout and tracked for shutdown) — the Dynamo-style
 		// "best effort to N, ack at W" discipline. Unreachable replicas
 		// get a hint for later redelivery when hinted handoff is on.
-		n.wg.Add(1)
+		if !n.track() {
+			// Shutting down: the replica RPC is never sent, which must
+			// still count against the quorum wait below.
+			ch <- errShuttingDown
+			continue
+		}
 		go func() {
 			defer n.wg.Done()
 			rctx, rcancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
@@ -747,14 +881,19 @@ func (n *Node) handleReplPut(body []byte) transport.Response {
 		return fail(err)
 	}
 	n.bump(func(s *Stats) { s.ReplPuts++ })
-	n.store.SyncKey(key, st)
+	// A replica ack is a durability promise: on durable nodes SyncKey
+	// returns only after the merged state is in the WAL, and a failed
+	// append must fail the RPC so the coordinator does not count the ack.
+	if err := n.store.SyncKey(key, st); err != nil {
+		return fail(err)
+	}
 	return transport.Response{}
 }
 
 func (n *Node) handleStats() transport.Response {
 	st := n.Stats()
 	w := codec.NewWriter(64)
-	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys} {
+	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped} {
 		w.Uvarint(v)
 	}
 	return transport.Response{Body: w.Bytes()}
@@ -764,7 +903,7 @@ func (n *Node) handleStats() transport.Response {
 func DecodeStats(body []byte) (Stats, error) {
 	r := codec.NewReader(body)
 	var st Stats
-	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys} {
+	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped} {
 		*p = r.Uvarint()
 	}
 	r.ExpectEOF()
@@ -853,7 +992,9 @@ func (n *Node) AntiEntropyWith(ctx context.Context, peer dot.ID) error {
 		if err != nil {
 			return err
 		}
-		n.store.SyncKey(key, st)
+		if err := n.store.SyncKey(key, st); err != nil {
+			return err
+		}
 		pushback = append(pushback, key)
 	}
 	// Keys the peer reported missing entirely: push our states.
@@ -1007,8 +1148,12 @@ func (n *Node) DeliverHints(ctx context.Context) {
 			}
 			if target == "" {
 				// This node is the key's only owner now: the hint's state
-				// folds into the local store and is retired below.
-				n.store.SyncKey(it.key, it.state)
+				// folds into the local store and is retired below — unless
+				// the fold cannot be persisted, in which case the hint must
+				// stay pending.
+				if err := n.store.SyncKey(it.key, it.state); err != nil {
+					continue
+				}
 			}
 		}
 		if target != "" {
@@ -1023,7 +1168,7 @@ func (n *Node) DeliverHints(ctx context.Context) {
 		// hint stays pending and will be counted when its newer state
 		// lands.
 		if perPeer, ok := n.hints[it.peer]; ok {
-			if cur, ok := perPeer[it.key]; ok && sameState(n.cfg.Mech, cur, it.state) {
+			if cur, ok := perPeer[it.key]; ok && storage.EncodeStateEqual(n.cfg.Mech, cur, it.state) {
 				delete(perPeer, it.key)
 				if len(perPeer) == 0 {
 					delete(n.hints, it.peer)
@@ -1033,20 +1178,6 @@ func (n *Node) DeliverHints(ctx context.Context) {
 		}
 		n.mu.Unlock()
 	}
-}
-
-// sameState compares two states by their canonical encoding, using pooled
-// scratch writers instead of two fresh 128-byte buffers per compare. The
-// comparison stays exact (not a hash): its outcome gates deleting a
-// pending hint, and a collision there would silently drop an undelivered
-// state.
-func sameState(m core.Mechanism, a, b core.State) bool {
-	wa, wb := getWriter(), getWriter()
-	defer putWriter(wa)
-	defer putWriter(wb)
-	m.EncodeState(wa, a)
-	m.EncodeState(wb, b)
-	return bytes.Equal(wa.Bytes(), wb.Bytes())
 }
 
 // antiEntropyDigest is the large-store reconciliation path: exchange
@@ -1113,7 +1244,9 @@ func (n *Node) antiEntropyDigest(ctx context.Context, peer dot.ID, keys []string
 				return err
 			}
 			if found {
-				n.store.SyncKey(k, st)
+				if err := n.store.SyncKey(k, st); err != nil {
+					return err
+				}
 			}
 			scope[k] = true
 		}

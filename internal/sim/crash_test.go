@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCrashNoLostAckedWrites is the E2 durability acceptance gate: kill a
+// replica at a random WAL offset mid-workload, restart it from its data
+// directory, and the oracle must report zero lost acknowledged writes,
+// zero false conflicts, zero duplicate dots and a drained hint backlog.
+// Run under -race in CI.
+func TestCrashNoLostAckedWrites(t *testing.T) {
+	cfg := DefaultCrashConfig()
+	if testing.Short() {
+		cfg.Clients, cfg.WritesPerClient = 4, 10
+		cfg.CrashJitter = 256
+	}
+	results, table, err := RunCrash(cfg, core.NewDVV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table.String())
+	for _, r := range results {
+		if r.AckedWrites == 0 {
+			t.Fatalf("%s: no writes acknowledged", r.Mechanism)
+		}
+		if !r.Fired {
+			t.Fatalf("%s: the crash failpoint never fired (crash offset %d beyond the workload)", r.Mechanism, r.CrashOffset)
+		}
+		if r.Incomplete > 0 {
+			t.Fatalf("%s: %d writes never acknowledged within the retry limit", r.Mechanism, r.Incomplete)
+		}
+		if r.Lost != 0 {
+			t.Fatalf("%s: %d acknowledged writes lost across the crash", r.Mechanism, r.Lost)
+		}
+		if r.FalseConflicts != 0 {
+			t.Fatalf("%s: %d false conflicts", r.Mechanism, r.FalseConflicts)
+		}
+		if r.DuplicateDots != 0 {
+			t.Fatalf("%s: %d duplicate dots minted after recovery", r.Mechanism, r.DuplicateDots)
+		}
+		if r.PendingHints != 0 {
+			t.Fatalf("%s: %d hints still pending after drain", r.Mechanism, r.PendingHints)
+		}
+		if r.WALReplayed == 0 {
+			t.Fatalf("%s: restart recovered nothing (replayed=0)", r.Mechanism)
+		}
+	}
+}
+
+// TestCrashDVVSet runs the same oracle over the compact set representation
+// (which shares the dot-uniqueness obligation).
+func TestCrashDVVSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestCrashNoLostAckedWrites in short mode")
+	}
+	cfg := DefaultCrashConfig()
+	cfg.Clients, cfg.WritesPerClient = 8, 10
+	results, _, err := RunCrash(cfg, core.NewDVVSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if !r.Clean() || !r.Fired || r.AckedWrites == 0 {
+		t.Fatalf("dvvset crash run not clean: %+v", r)
+	}
+}
+
+// TestCrashTableShape pins the report columns the CLI prints.
+func TestCrashTableShape(t *testing.T) {
+	cfg := DefaultCrashConfig()
+	cfg.Clients, cfg.WritesPerClient = 2, 6
+	cfg.CrashJitter = 256
+	results, table, err := RunCrash(cfg, core.NewDVV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || len(table.Rows) != 1 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	if len(table.Headers) != 14 {
+		t.Fatalf("headers = %v", table.Headers)
+	}
+}
+
+// TestDurabilityOverheadTable exercises the D1 measurement end to end
+// (small sizes; the numbers themselves are not asserted).
+func TestDurabilityOverheadTable(t *testing.T) {
+	table, err := RunDurabilityOverhead(DurabilityConfig{Puts: 32, Writers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 modes × 2 writer counts)", len(table.Rows))
+	}
+	// The memory mode must report zero fsyncs; the fsync mode nonzero.
+	if table.Rows[0][4] != "0" {
+		t.Fatalf("memory mode fsyncs = %s", table.Rows[0][4])
+	}
+	if table.Rows[4][4] == "0" {
+		t.Fatalf("wal+fsync mode reported no fsyncs: %v", table.Rows[4])
+	}
+}

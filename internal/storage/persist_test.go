@@ -50,7 +50,7 @@ func TestSaveLoadThroughFile(t *testing.T) {
 	}
 	defer f2.Close()
 	restored := New(m)
-	if err := restored.Load(f2); err != nil {
+	if _, err := restored.Load(f2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -88,7 +88,7 @@ func TestLoadEmptyFile(t *testing.T) {
 	}
 	defer f.Close()
 	s := New(core.NewDVV())
-	if err := s.Load(f); err != nil {
+	if _, err := s.Load(f); err != nil {
 		t.Fatal(err)
 	}
 	if s.Len() != 0 {

@@ -144,7 +144,7 @@ func TestShardedStressRace(t *testing.T) {
 		if err := s.Save(io.Discard); err != nil {
 			t.Error(err)
 		}
-		if err := s.Load(bytes.NewReader(image.Bytes())); err != nil {
+		if _, err := s.Load(bytes.NewReader(image.Bytes())); err != nil {
 			t.Error(err)
 		}
 	})

@@ -18,10 +18,12 @@
 package storage
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"math/bits"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -40,7 +42,9 @@ type shard struct {
 	data map[string]core.State
 }
 
-// Store is a replica's local key-value state under one mechanism.
+// Store is a replica's local key-value state under one mechanism. Stores
+// built by New/NewSharded are purely in-memory; Open builds a durable one
+// whose mutations are written ahead to a per-store WAL (see durable.go).
 type Store struct {
 	mech core.Mechanism
 
@@ -49,6 +53,15 @@ type Store struct {
 
 	// operation counters; atomics so reads never touch the shard locks.
 	puts, gets, syncs atomic.Uint64
+
+	// durability (nil wal = in-memory store); see durable.go.
+	wal         *WAL
+	dir         string
+	lock        *os.File // flock'd LOCK file guarding dir against double-open
+	recovery    RecoveryInfo
+	ckptMu      sync.Mutex
+	walAppends  atomic.Uint64
+	checkpoints atomic.Uint64
 }
 
 // New creates an empty store for the given mechanism with DefaultShards
@@ -116,7 +129,12 @@ func (s *Store) Get(key string) (core.ReadResult, bool) {
 
 // Put applies a client write to key and returns the post-write read result
 // (values surviving plus the new context — what the server hands back to
-// the client, Riak's return_body).
+// the client, Riak's return_body). On a durable store the post-state is
+// committed to the WAL *before* it is installed, still under the shard
+// lock: Put returning nil means the write is durable, and a failed append
+// leaves memory untouched, so the in-memory state never runs ahead of the
+// log (a crashed-then-recovered replica cannot re-mint a dot it already
+// issued but failed to persist).
 func (s *Store) Put(key string, ctx core.Context, value []byte, w core.WriteInfo) (core.ReadResult, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
@@ -129,14 +147,23 @@ func (s *Store) Put(key string, ctx core.Context, value []byte, w core.WriteInfo
 	if err != nil {
 		return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
 	}
+	if s.wal != nil {
+		if err := s.appendWAL(key, ns); err != nil {
+			return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
+		}
+	}
 	sh.data[key] = ns
 	s.puts.Add(1)
 	return s.mech.Read(ns), nil
 }
 
 // SyncKey merges a remote state for key into the local one (replication
-// and anti-entropy ingest path).
-func (s *Store) SyncKey(key string, remote core.State) {
+// and anti-entropy ingest path). Durable stores follow the same
+// WAL-before-install discipline as Put; merges that change nothing (the
+// common case on read-path folds and repeated anti-entropy) are detected
+// by comparing canonical encodings and skip both the log append and the
+// install, so reads and converged AE rounds do not grow the WAL.
+func (s *Store) SyncKey(key string, remote core.State) error {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -144,8 +171,58 @@ func (s *Store) SyncKey(key string, remote core.State) {
 	if !ok {
 		st = s.mech.NewState()
 	}
-	sh.data[key] = s.mech.Sync(st, remote)
+	merged := s.mech.Sync(st, remote)
+	// Merging emptiness into an absent key must stay a no-op in every
+	// mode: installing it would grow Len() and the key listing for a key
+	// that holds nothing. Siblings and MetadataBytes are arithmetic (no
+	// encode), so this costs the in-memory hot path nothing.
+	if !ok && s.mech.Siblings(merged) == 0 && s.mech.MetadataBytes(merged) == 0 {
+		return nil
+	}
+	if s.wal != nil {
+		// Frame the WAL record (key + merged state) once; the merged
+		// state's encoding within it doubles as the no-op check against
+		// the old state's encoding — an exact compare, not a hash: a
+		// collision here would silently drop a durable write.
+		w := codec.GetPooledWriter()
+		w.String(key)
+		mark := w.Len()
+		s.mech.EncodeState(w, merged)
+		// st is the empty state when the key is missing, so this also
+		// catches an empty remote merged into an absent key — which must
+		// not install the key or grow the log.
+		old := codec.GetPooledWriter()
+		s.mech.EncodeState(old, st)
+		same := bytes.Equal(old.Bytes(), w.Bytes()[mark:])
+		codec.PutPooledWriter(old)
+		if same {
+			codec.PutPooledWriter(w)
+			return nil // no-op merge: nothing new to persist or install
+		}
+		err := s.wal.Append(w.Bytes())
+		codec.PutPooledWriter(w)
+		if err != nil {
+			return fmt.Errorf("storage: sync %q: %w", key, err)
+		}
+		s.walAppends.Add(1)
+	}
+	sh.data[key] = merged
 	s.syncs.Add(1)
+	return nil
+}
+
+// EncodeStateEqual reports whether two states have identical canonical
+// encodings, using pooled scratch writers — the one exact state-equality
+// helper shared by the WAL no-op-merge check above and the node's
+// hint-retirement compare.
+func EncodeStateEqual(m core.Mechanism, a, b core.State) bool {
+	wa, wb := codec.GetPooledWriter(), codec.GetPooledWriter()
+	m.EncodeState(wa, a)
+	m.EncodeState(wb, b)
+	same := bytes.Equal(wa.Bytes(), wb.Bytes())
+	codec.PutPooledWriter(wa)
+	codec.PutPooledWriter(wb)
+	return same
 }
 
 // Snapshot returns an independent deep copy of key's state and whether the
@@ -283,20 +360,33 @@ func (s *Store) EncodeKey(key string, w *codec.Writer) bool {
 	return true
 }
 
-// Stats reports operation counters.
+// Stats reports operation counters. The WAL fields are zero for in-memory
+// stores.
 type Stats struct {
 	Puts, Gets, Syncs uint64
 	Keys              int
+
+	// WALAppends counts records written ahead of installs; WALSyncs counts
+	// fsync calls (group commit makes WALSyncs ≤ WALAppends under
+	// concurrency); Checkpoints counts completed snapshot+truncate cycles.
+	WALAppends, WALSyncs uint64
+	Checkpoints          uint64
 }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	return Stats{
-		Puts:  s.puts.Load(),
-		Gets:  s.gets.Load(),
-		Syncs: s.syncs.Load(),
-		Keys:  s.Len(),
+	st := Stats{
+		Puts:        s.puts.Load(),
+		Gets:        s.gets.Load(),
+		Syncs:       s.syncs.Load(),
+		Keys:        s.Len(),
+		WALAppends:  s.walAppends.Load(),
+		Checkpoints: s.checkpoints.Load(),
 	}
+	if s.wal != nil {
+		_, _, st.WALSyncs = s.wal.Stats()
+	}
+	return st
 }
 
 // ---------------------------------------------------------------------------
@@ -324,30 +414,46 @@ func (s *Store) Save(w io.Writer) error {
 // Load replaces the store's content with records read from r until EOF.
 // Decoding happens outside any lock; the swap then proceeds shard by
 // shard.
-func (s *Store) Load(r io.Reader) error {
+//
+// A torn tail — the stream ending mid-frame, as a crash mid-write leaves
+// it — is tolerated, mirroring WAL replay: the intact record prefix is
+// kept and the number of discarded tail bytes is returned, so callers can
+// surface the damage (Open counts it in RecoveryInfo and rewrites a clean
+// snapshot) instead of losing keys silently. A record that is fully
+// present but does not decode is mid-file damage and fails with
+// ErrCorruptRecord: recovery must not silently skip over rot in the
+// middle of the image.
+func (s *Store) Load(r io.Reader) (torn int64, err error) {
 	fresh := make([]map[string]core.State, len(s.shards))
 	for i := range fresh {
 		fresh[i] = make(map[string]core.State)
 	}
+	br := newByteReader(r)
+	var good int64 // offset just past the last intact record
 	for {
-		frame, err := codec.ReadFrame(r)
+		frame, err := codec.ReadFrame(br)
 		if err != nil {
 			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				break // clean end at a frame boundary
 			}
-			return fmt.Errorf("storage: load: %w", err)
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				torn = br.offset - good // torn tail: keep the intact prefix
+				break
+			}
+			return 0, fmt.Errorf("storage: load: %w", err)
 		}
 		cr := codec.NewReader(frame)
 		key := cr.String()
 		st, err := s.mech.DecodeState(cr)
 		if err != nil {
-			return fmt.Errorf("storage: load key %q: %w", key, err)
+			return 0, fmt.Errorf("storage: load key %q: %w (%w)", key, err, ErrCorruptRecord)
 		}
 		cr.ExpectEOF()
 		if cr.Err() != nil {
-			return fmt.Errorf("storage: load key %q: %w", key, cr.Err())
+			return 0, fmt.Errorf("storage: load key %q: %w (%w)", key, cr.Err(), ErrCorruptRecord)
 		}
 		fresh[fnv64a(key)&s.mask][key] = st
+		good += 4 + int64(len(frame))
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -355,5 +461,5 @@ func (s *Store) Load(r io.Reader) error {
 		sh.data = fresh[i]
 		sh.mu.Unlock()
 	}
-	return nil
+	return torn, nil
 }
