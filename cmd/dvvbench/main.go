@@ -13,6 +13,7 @@
 //	dvvbench -experiment pruning        # C4: pruning safety
 //	dvvbench -experiment ablation       # A1: DVV vs DVVSet
 //	dvvbench -experiment churn          # E1: elastic membership under writes
+//	dvvbench -experiment saturate       # E3: transport saturation (lockstep vs mux over real TCP)
 //	dvvbench -churn                     # shorthand for -experiment churn
 //	dvvbench -experiment riak -csv      # CSV instead of aligned text
 //	dvvbench -json > BENCH_N.json       # machine-readable snapshot of all tables
@@ -39,7 +40,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|all")
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|all")
 		churn      = fs.Bool("churn", false, "shorthand for -experiment churn (elastic membership scenario)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
@@ -155,6 +156,23 @@ func run(args []string) error {
 				return err
 			}
 			emit(table)
+		case "saturate":
+			cfg := sim.DefaultSaturateConfig()
+			cfg.Seed = *seed
+			if *ops > 0 {
+				cfg.OpsPerClient = *ops
+			}
+			if *clients > 0 {
+				cfg.ClientLevels = []int{*clients}
+			}
+			if *nodes > 0 {
+				cfg.Nodes = *nodes
+			}
+			_, table, err := sim.RunSaturate(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
 		case "durability":
 			cfg := sim.DefaultDurabilityConfig()
 			cfg.Seed = *seed
@@ -189,7 +207,7 @@ func run(args []string) error {
 		*experiment = "churn"
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability"} {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "saturate"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

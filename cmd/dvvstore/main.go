@@ -101,6 +101,7 @@ func serve(args []string) error {
 		sloppy = fs.Bool("sloppy", true, "sloppy quorums: unreachable replicas fall back down the ring with a hint")
 		data   = fs.String("data", "", "data directory: persist with a write-ahead log and atomic snapshots, recovering state on restart (empty = in-memory)")
 		fsync  = fs.Bool("fsync", true, "fsync every WAL commit before acking a write (with -data); off trades the unsynced tail for latency")
+		trans  = fs.String("transport", "mux", "wire transport: mux (multiplexed, one conn per peer pair) or lockstep (one exchange per pooled conn); every node and client must agree")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,7 +118,10 @@ func serve(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown mechanism %q", *mech)
 	}
-	tcp := transport.NewTCP(dot.ID(*id), addrs)
+	tcp, err := newNetTransport(*trans, dot.ID(*id), addrs)
+	if err != nil {
+		return err
+	}
 	if err := tcp.Listen(); err != nil {
 		return err
 	}
@@ -193,19 +197,45 @@ func serve(args []string) error {
 	return nil
 }
 
-// clientTransport builds a one-shot TCP client transport to addr.
-func clientTransport(addr string) (*transport.TCP, dot.ID) {
+// netTransport is the shape shared by both real-network transports.
+type netTransport interface {
+	transport.Transport
+	transport.AddrBook
+	Listen() error
+}
+
+// newNetTransport builds the chosen wire transport. The default is the
+// multiplexed one; "lockstep" keeps the one-exchange-per-connection
+// baseline (A/B benching, older peers). A deployment must be uniform —
+// the two framings are not interoperable.
+func newNetTransport(kind string, self dot.ID, addrs map[dot.ID]string) (netTransport, error) {
+	switch kind {
+	case "mux":
+		return transport.NewMux(self, addrs), nil
+	case "lockstep":
+		return transport.NewTCP(self, addrs), nil
+	default:
+		return nil, fmt.Errorf("unknown -transport %q (want mux or lockstep)", kind)
+	}
+}
+
+// clientTransport builds a one-shot client transport to addr.
+func clientTransport(kind, addr string) (netTransport, dot.ID, error) {
 	server := dot.ID("server")
-	t := transport.NewTCP("cli", map[dot.ID]string{server: addr})
-	return t, server
+	t, err := newNetTransport(kind, "cli", map[dot.ID]string{server: addr})
+	if err != nil {
+		return nil, "", err
+	}
+	return t, server, nil
 }
 
 func clientGet(args []string) error {
 	fs := flag.NewFlagSet("get", flag.ContinueOnError)
 	var (
-		addr = fs.String("addr", "127.0.0.1:7001", "any node address")
-		key  = fs.String("key", "", "key to read")
-		mech = fs.String("mechanism", "dvv", "mechanism the cluster runs")
+		addr  = fs.String("addr", "127.0.0.1:7001", "any node address")
+		key   = fs.String("key", "", "key to read")
+		mech  = fs.String("mechanism", "dvv", "mechanism the cluster runs")
+		trans = fs.String("transport", "mux", "wire transport the cluster speaks (mux|lockstep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -217,7 +247,10 @@ func clientGet(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown mechanism %q", *mech)
 	}
-	t, server := clientTransport(*addr)
+	t, server, err := clientTransport(*trans, *addr)
+	if err != nil {
+		return err
+	}
 	defer t.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -255,6 +288,7 @@ func clientPut(args []string) error {
 		ctxHex = fs.String("context", "", "causal context from a previous get (hex); empty = blind write")
 		client = fs.String("client", "cli", "client identity")
 		mech   = fs.String("mechanism", "dvv", "mechanism the cluster runs")
+		trans  = fs.String("transport", "mux", "wire transport the cluster speaks (mux|lockstep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -278,7 +312,10 @@ func clientPut(args []string) error {
 			return fmt.Errorf("put: bad -context: %w", err)
 		}
 	}
-	t, server := clientTransport(*addr)
+	t, server, err := clientTransport(*trans, *addr)
+	if err != nil {
+		return err
+	}
 	defer t.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -306,10 +343,14 @@ func clientPut(args []string) error {
 func clientStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7001", "node address")
+	trans := fs.String("transport", "mux", "wire transport the cluster speaks (mux|lockstep)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	t, server := clientTransport(*addr)
+	t, server, err := clientTransport(*trans, *addr)
+	if err != nil {
+		return err
+	}
 	defer t.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

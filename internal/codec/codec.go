@@ -37,6 +37,13 @@ var ErrCorrupt = errors.New("codec: corrupt input")
 // forcing huge allocations before the decoder notices.
 const maxLen = 1 << 26 // 64 MiB
 
+// MaxFrameBytes is the largest frame payload WriteFrame/AppendFrame will
+// emit and ReadFrame will accept. Callers sharing a connection across
+// concurrent requests (the mux transport) should reject oversized
+// payloads before queueing them, so one huge message fails alone instead
+// of erroring inside the shared writer and tearing the connection down.
+const MaxFrameBytes = maxLen
+
 // Writer accumulates an encoded message. The zero value is ready to use.
 type Writer struct {
 	buf []byte
@@ -55,6 +62,18 @@ func (w *Writer) Len() int { return len(w.buf) }
 
 // Reset clears the writer for reuse, retaining capacity.
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Truncate drops everything written after byte offset n (a value
+// previously returned by Len) — used by batching encoders to revert an
+// item that pushed a frame over its size budget.
+func (w *Writer) Truncate(n int) {
+	if n >= 0 && n <= len(w.buf) {
+		w.buf = w.buf[:n]
+	}
+}
+
+// Append appends raw pre-encoded bytes (no length prefix).
+func (w *Writer) Append(b []byte) { w.buf = append(w.buf, b...) }
 
 // maxPooledWriterCap caps the buffer capacity kept in the shared pool: one
 // huge message must not permanently pin a multi-megabyte buffer behind
@@ -453,6 +472,25 @@ func ClockSetSize(s []dvv.Clock) int {
 // ---------------------------------------------------------------------------
 // io helpers: length-framed messages over a stream (TCP transport).
 // ---------------------------------------------------------------------------
+
+// FrameOverhead is the per-frame framing cost in bytes: the 4-byte
+// big-endian length prefix WriteFrame/AppendFrame put before a payload.
+const FrameOverhead = 4
+
+// AppendFrame appends one length-framed message (the same layout
+// WriteFrame produces) to dst and returns the extended slice. The
+// multiplexed transport's writer loop uses it to coalesce every queued
+// frame into one buffer and hand the kernel a single write — the
+// writev-style flush that amortizes syscalls across concurrent requests.
+func AppendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > maxLen {
+		return dst, fmt.Errorf("codec: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [FrameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
 
 // WriteFrame writes a 4-byte big-endian length prefix followed by payload.
 func WriteFrame(w io.Writer, payload []byte) error {

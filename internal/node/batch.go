@@ -1,0 +1,206 @@
+package node
+
+// Batched replication: the per-peer coalescing queue behind replPutBatched.
+//
+// Every replica-state push — coordinator fan-out during puts, sloppy-quorum
+// fallbacks, read repair, hint redelivery, anti-entropy reconciliation —
+// funnels through one queue per destination peer. Pushes that arrive while
+// a frame to that peer is on the wire coalesce into the next frame, so N
+// concurrent single-key pushes become ceil(N/ReplBatchKeys) repl.batch
+// RPCs instead of N lockstep repl.put exchanges. The frame shape is the
+// Sync-mergeable (key, state)* stream of handoff.batch, and the receiver
+// folds every pair in with Store.SyncKey, so a batch is idempotent and
+// safe to interleave with live writes — exactly the property that makes
+// coalescing correct: merging is order-insensitive and repeat-tolerant.
+//
+// An ack covers the whole frame (the handler fails the RPC on the first
+// state it cannot persist), so a caller's push resolves with the fate of
+// the frame that carried its key — the same durability promise repl.put
+// gave, amortized.
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/transport"
+)
+
+// DefaultReplBatchKeys bounds how many (key, state) pairs ride in one
+// repl.batch frame (see Config.ReplBatchKeys).
+const DefaultReplBatchKeys = 64
+
+// replBatchSoftBytes is the per-frame byte budget: a frame stops
+// accepting further items once its payload passes this size, so a batch
+// of large sibling sets splits into several frames instead of one
+// outsized frame that the transport would reject (codec.MaxFrameBytes)
+// — or, worse, that would monopolize the shared connection.
+const replBatchSoftBytes = 4 << 20
+
+// batchItem is one queued replica-state push awaiting a frame.
+type batchItem struct {
+	key  string
+	st   core.State
+	done chan error // buffered 1; resolves with the frame's fate
+}
+
+// peerQueue is the coalescing queue for one destination peer.
+type peerQueue struct {
+	mu       sync.Mutex
+	items    []batchItem
+	flushing bool
+}
+
+// replBatcher owns the per-peer queues.
+type replBatcher struct {
+	n     *Node
+	mu    sync.Mutex
+	peers map[dot.ID]*peerQueue
+}
+
+func newReplBatcher(n *Node) *replBatcher {
+	return &replBatcher{n: n, peers: make(map[dot.ID]*peerQueue)}
+}
+
+func (b *replBatcher) queue(peer dot.ID) *peerQueue {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.peers[peer]
+	if q == nil {
+		q = &peerQueue{}
+		b.peers[peer] = q
+	}
+	return q
+}
+
+// push enqueues one (key, state) for peer and waits for the ack of the
+// frame that carries it. The state must not be mutated by the caller
+// afterwards (all call sites pass snapshots or clones). The context
+// bounds only this caller's wait; the frame itself is sent on a fresh
+// node-timeout budget, so one caller's tight deadline cannot strand the
+// other keys sharing its frame.
+func (b *replBatcher) push(ctx context.Context, peer dot.ID, key string, st core.State) error {
+	it := batchItem{key: key, st: st, done: make(chan error, 1)}
+	q := b.queue(peer)
+	q.mu.Lock()
+	q.items = append(q.items, it)
+	spawn := !q.flushing
+	if spawn {
+		q.flushing = true
+	}
+	q.mu.Unlock()
+	if spawn {
+		if b.n.track() {
+			go func() {
+				defer b.n.wg.Done()
+				b.flush(peer, q)
+			}()
+		} else {
+			// Shutdown has begun: no flusher may start, so drain whatever
+			// is queued (ours included) with errors.
+			b.drain(q, errShuttingDown)
+		}
+	}
+	select {
+	case err := <-it.done:
+		return err
+	case <-ctx.Done():
+		// The item stays queued and will still be sent (replication
+		// outliving a caller's deadline is the existing repl.put
+		// discipline); only this caller's wait is cut short.
+		return ctx.Err()
+	}
+}
+
+// flush drains the queue: it repeatedly takes everything queued, sends
+// it in key- and byte-bounded frames, and resolves each item with its
+// frame's fate. It exits when the queue goes empty.
+func (b *replBatcher) flush(peer dot.ID, q *peerQueue) {
+	for {
+		q.mu.Lock()
+		batch := q.items
+		if len(batch) == 0 {
+			q.flushing = false
+			q.mu.Unlock()
+			return
+		}
+		q.items = nil
+		q.mu.Unlock()
+		for len(batch) > 0 {
+			sent, err := b.n.sendReplBatch(peer, batch)
+			for _, it := range batch[:sent] {
+				it.done <- err
+			}
+			batch = batch[sent:]
+		}
+	}
+}
+
+// drain resolves everything queued with err (shutdown path).
+func (b *replBatcher) drain(q *peerQueue, err error) {
+	q.mu.Lock()
+	batch := q.items
+	q.items = nil
+	q.flushing = false
+	q.mu.Unlock()
+	for _, it := range batch {
+		it.done <- err
+	}
+}
+
+// sendReplBatch encodes as many leading items as fit one frame (at most
+// ReplBatchKeys pairs, stopping past replBatchSoftBytes) and sends it on
+// a fresh node-timeout budget, with the same suspicion bookkeeping as
+// replPut. It returns how many items the frame consumed (≥ 1) and the
+// frame's fate.
+func (n *Node) sendReplBatch(peer dot.ID, items []batchItem) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
+	defer cancel()
+	pw := getWriter() // payload: the (key, state) pairs, no count prefix yet
+	defer putWriter(pw)
+	count := 0
+	for _, it := range items {
+		if count >= n.cfg.ReplBatchKeys {
+			break
+		}
+		mark := pw.Len()
+		pw.String(it.key)
+		n.cfg.Mech.EncodeState(pw, it.st)
+		if count > 0 && pw.Len() > replBatchSoftBytes {
+			pw.Truncate(mark) // item opens the next frame instead
+			break
+		}
+		count++
+	}
+	w := getWriter()
+	defer putWriter(w)
+	w.Uvarint(uint64(count))
+	w.Append(pw.Bytes())
+	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
+		Method: MethodReplBatch, Body: w.Bytes(),
+	})
+	if err != nil {
+		n.noteSendFailure(peer)
+		return count, err
+	}
+	n.notePeerOK(peer)
+	if aerr := transport.AppError(resp); aerr != nil {
+		return count, aerr
+	}
+	n.bump(func(s *Stats) {
+		s.ReplBatches++
+		s.BatchedKeys += uint64(count)
+	})
+	return count, nil
+}
+
+// replPutBatched pushes one replica state to peer through the coalescing
+// queue; with batching disabled (Config.NoReplBatch — the A/B baseline)
+// it degrades to the lockstep repl.put exchange.
+func (n *Node) replPutBatched(ctx context.Context, peer dot.ID, key string, st core.State) error {
+	if n.cfg.NoReplBatch || n.batcher == nil {
+		return n.replPut(ctx, peer, key, st)
+	}
+	return n.batcher.push(ctx, peer, key, st)
+}

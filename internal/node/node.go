@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/antientropy"
@@ -44,16 +45,17 @@ import (
 
 // RPC method names served by a node.
 const (
-	MethodGet      = "get"           // client read
-	MethodPut      = "put"           // client write
-	MethodReplGet  = "repl.get"      // replica state fetch
-	MethodReplPut  = "repl.put"      // replica state push
-	MethodAEDiff   = "ae.diff"       // anti-entropy flat key/hash exchange
-	MethodAEDigest = "ae.digest"     // anti-entropy Merkle leaf exchange
-	MethodStats    = "stats"         // operational counters
-	MethodHandoff  = "handoff.batch" // membership handoff: batched key/state stream
-	MethodJoin     = "member.join"   // membership gossip: a node joins
-	MethodLeave    = "member.leave"  // membership gossip: a node leaves
+	MethodGet       = "get"           // client read
+	MethodPut       = "put"           // client write
+	MethodReplGet   = "repl.get"      // replica state fetch
+	MethodReplPut   = "repl.put"      // replica state push
+	MethodReplBatch = "repl.batch"    // batched replica state push (coalesced fan-out, repair, hints, AE)
+	MethodAEDiff    = "ae.diff"       // anti-entropy flat key/hash exchange
+	MethodAEDigest  = "ae.digest"     // anti-entropy Merkle leaf exchange
+	MethodStats     = "stats"         // operational counters
+	MethodHandoff   = "handoff.batch" // membership handoff: batched key/state stream
+	MethodJoin      = "member.join"   // membership gossip: a node joins
+	MethodLeave     = "member.leave"  // membership gossip: a node leaves
 )
 
 // aeDigestThreshold is the key count beyond which anti-entropy switches
@@ -129,6 +131,17 @@ type Config struct {
 	// 0 means DefaultRepairConcurrency.
 	RepairConcurrency int
 
+	// ReplBatchKeys bounds how many (key, state) pairs one repl.batch
+	// frame carries; concurrent pushes to the same peer coalesce up to
+	// this bound. 0 means DefaultReplBatchKeys.
+	ReplBatchKeys int
+
+	// NoReplBatch disables the per-peer coalescing queue: every replica
+	// push becomes its own lockstep repl.put exchange, as before the
+	// batched data plane. Kept for A/B benching (the E3 saturation
+	// baseline).
+	NoReplBatch bool
+
 	// Addr is the node's advertised network address, carried in membership
 	// gossip so TCP peers learn how to dial a joiner. Empty for in-memory
 	// transports.
@@ -166,6 +179,9 @@ func (c *Config) validate() error {
 	if c.RepairConcurrency < 1 {
 		c.RepairConcurrency = DefaultRepairConcurrency
 	}
+	if c.ReplBatchKeys < 1 {
+		c.ReplBatchKeys = DefaultReplBatchKeys
+	}
 	return nil
 }
 
@@ -197,12 +213,26 @@ type Stats struct {
 	// RepairsDropped counts background repair/redelivery tasks shed
 	// because RepairConcurrency workers were already in flight.
 	RepairsDropped uint64
+	// ReplBatches counts repl.batch frames this node sent; BatchedKeys
+	// the (key, state) pairs they carried. BatchedKeys ÷ ReplBatches is
+	// the realized coalescing factor of the replication data plane.
+	ReplBatches uint64
+	BatchedKeys uint64
+	// AERepairFailures counts per-key reconciliation RPCs (pushes and
+	// pulls) that failed during anti-entropy sweeps. Failed keys are
+	// skipped, not fatal: the sweep continues and a later round retries
+	// them.
+	AERepairFailures uint64
 }
 
 // Node is one replica server.
 type Node struct {
 	cfg   Config
 	store *storage.Store
+
+	// batcher is the per-peer coalescing queue every replica-state push
+	// goes through (see batch.go); nil only before New finishes.
+	batcher *replBatcher
 
 	// repairSem admits background repair goroutines (read repair,
 	// post-leave hint re-routing) up to Config.RepairConcurrency.
@@ -279,6 +309,7 @@ func New(cfg Config) (*Node, error) {
 		departed:  make(map[dot.ID]struct{}),
 		done:      make(chan struct{}),
 	}
+	n.batcher = newReplBatcher(n)
 	cfg.Transport.Register(cfg.ID, n.Handle)
 	if cfg.AntiEntropyInterval > 0 {
 		n.wg.Add(1)
@@ -335,6 +366,10 @@ func (n *Node) Handle(ctx context.Context, from dot.ID, req transport.Request) t
 		return n.handleReplGet(req.Body)
 	case MethodReplPut:
 		return n.handleReplPut(req.Body)
+	case MethodReplBatch:
+		// Same Sync-mergeable (key, state)* frame and durability promise
+		// as handoff.batch; only the traffic source differs.
+		return n.handleHandoff(req.Body)
 	case MethodAEDiff:
 		return n.handleAEDiff(req.Body)
 	case MethodAEDigest:
@@ -573,7 +608,7 @@ func (n *Node) repairAsync(key string, merged core.State, peers []dot.ID) {
 				return
 			default:
 			}
-			if err := n.replPut(ctx, p, key, states); err == nil {
+			if err := n.replPutBatched(ctx, p, key, states); err == nil {
 				n.bump(func(s *Stats) { s.ReadRepairs++ })
 			}
 		}
@@ -691,7 +726,7 @@ func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context,
 			defer rcancel()
 			err := errSuspected
 			if !n.Suspected(p) {
-				err = n.replPut(rctx, p, key, state)
+				err = n.replPutBatched(rctx, p, key, state)
 			}
 			if err != nil {
 				n.bump(func(s *Stats) { s.ReplFailures++ })
@@ -710,7 +745,7 @@ func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context,
 					// timing out has exhausted rctx, and the fallback must
 					// not inherit its dead deadline.
 					fctx, fcancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
-					ferr := n.replPut(fctx, fb, key, state)
+					ferr := n.replPutBatched(fctx, fb, key, state)
 					fcancel()
 					if ferr == nil {
 						n.bump(func(s *Stats) { s.SloppyAcks++ })
@@ -893,7 +928,7 @@ func (n *Node) handleReplPut(body []byte) transport.Response {
 func (n *Node) handleStats() transport.Response {
 	st := n.Stats()
 	w := codec.NewWriter(64)
-	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped} {
+	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped, st.ReplBatches, st.BatchedKeys, st.AERepairFailures} {
 		w.Uvarint(v)
 	}
 	return transport.Response{Body: w.Bytes()}
@@ -903,7 +938,7 @@ func (n *Node) handleStats() transport.Response {
 func DecodeStats(body []byte) (Stats, error) {
 	r := codec.NewReader(body)
 	var st Stats
-	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped} {
+	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped, &st.ReplBatches, &st.BatchedKeys, &st.AERepairFailures} {
 		*p = r.Uvarint()
 	}
 	r.ExpectEOF()
@@ -1011,15 +1046,56 @@ func (n *Node) AntiEntropyWith(ctx context.Context, peer dot.ID) error {
 	if r.Err() != nil {
 		return r.Err()
 	}
-	// Push merged states back so the peer converges too.
-	for _, key := range pushback {
-		if merged, ok := n.store.Snapshot(key); ok {
-			if err := n.replPut(ctx, peer, key, merged); err != nil {
-				return err
-			}
-		}
-	}
+	// Push merged states back so the peer converges too — pipelined, and
+	// with per-key failures independent (counted, not fatal).
+	n.pushStates(ctx, peer, pushback)
 	return nil
+}
+
+// aeRepairWindow bounds how many reconciliation RPCs one anti-entropy
+// sweep keeps in flight at a time. Combined with the per-peer coalescing
+// queue, a window of W pending pushes to one peer lands as a handful of
+// repl.batch frames instead of W blocking round trips.
+const aeRepairWindow = 16
+
+// pushStates pushes this node's current state for each key to peer
+// through the batched replication path, aeRepairWindow at a time.
+// Per-key failures are independent: each is counted in
+// Stats.AERepairFailures and the sweep continues, so one slow or failed
+// RPC cannot abort convergence for the rest of the bucket diff (the
+// pre-batching code returned on the first error, stranding every
+// remaining key until a future round). Returns the failure count.
+func (n *Node) pushStates(ctx context.Context, peer dot.ID, keys []string) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	sem := make(chan struct{}, aeRepairWindow)
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for _, k := range keys {
+		if ctx.Err() != nil {
+			failed.Add(1)
+			continue
+		}
+		st, ok := n.store.Snapshot(k)
+		if !ok {
+			continue // key vanished since listing; nothing to push
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(k string, st core.State) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := n.replPutBatched(ctx, peer, k, st); err != nil {
+				failed.Add(1)
+			}
+		}(k, st)
+	}
+	wg.Wait()
+	if f := failed.Load(); f > 0 {
+		n.bump(func(s *Stats) { s.AERepairFailures += uint64(f) })
+	}
+	return int(failed.Load())
 }
 
 func (n *Node) handleAEDiff(body []byte) transport.Response {
@@ -1077,6 +1153,14 @@ func (n *Node) handleAEDiff(body []byte) transport.Response {
 // Hinted handoff.
 // ---------------------------------------------------------------------------
 
+// hintItem is one pending (peer, key, state) hint snapshotted for a
+// redelivery round.
+type hintItem struct {
+	peer  dot.ID
+	key   string
+	state core.State
+}
+
 // storeHint records state for redelivery to an unreachable peer, merging
 // with any hint already pending for the same (peer, key).
 func (n *Node) storeHint(peer dot.ID, key string, st core.State) {
@@ -1117,15 +1201,10 @@ func (n *Node) PendingHints() int {
 // instead of stranding them.
 func (n *Node) DeliverHints(ctx context.Context) {
 	n.mu.Lock()
-	type item struct {
-		peer  dot.ID
-		key   string
-		state core.State
-	}
-	var todo []item
+	var todo []hintItem
 	for peer, perPeer := range n.hints {
 		for key, st := range perPeer {
-			todo = append(todo, item{peer, key, st})
+			todo = append(todo, hintItem{peer, key, st})
 		}
 	}
 	n.mu.Unlock()
@@ -1136,6 +1215,32 @@ func (n *Node) DeliverHints(ctx context.Context) {
 		return todo[i].key < todo[j].key
 	})
 	members := n.cfg.Ring.Members()
+	// retire drops a hint once its exact state has been delivered (or
+	// folded locally). A newer hint may have merged in since the
+	// snapshot; drop the entry only if it is still exactly what was
+	// delivered, and count a delivery only when the hint is actually
+	// retired — a superseded hint stays pending and will be counted when
+	// its newer state lands.
+	retire := func(it hintItem) {
+		n.mu.Lock()
+		if perPeer, ok := n.hints[it.peer]; ok {
+			if cur, ok := perPeer[it.key]; ok && storage.EncodeStateEqual(n.cfg.Mech, cur, it.state) {
+				delete(perPeer, it.key)
+				if len(perPeer) == 0 {
+					delete(n.hints, it.peer)
+				}
+				n.stats.HintsDelivered++
+			}
+		}
+		n.mu.Unlock()
+	}
+	// Redeliveries are pipelined aeRepairWindow at a time through the
+	// batched replication path, so a backlog of hints for one recovered
+	// peer drains as a few repl.batch frames instead of one blocking
+	// round trip per key — and one unreachable target cannot stall the
+	// hints behind it.
+	sem := make(chan struct{}, aeRepairWindow)
+	var wg sync.WaitGroup
 	for _, it := range todo {
 		target := it.peer
 		if !containsID(members, it.peer) {
@@ -1148,36 +1253,28 @@ func (n *Node) DeliverHints(ctx context.Context) {
 			}
 			if target == "" {
 				// This node is the key's only owner now: the hint's state
-				// folds into the local store and is retired below — unless
-				// the fold cannot be persisted, in which case the hint must
+				// folds into the local store and is retired — unless the
+				// fold cannot be persisted, in which case the hint must
 				// stay pending.
 				if err := n.store.SyncKey(it.key, it.state); err != nil {
 					continue
 				}
-			}
-		}
-		if target != "" {
-			if err := n.replPut(ctx, target, it.key, it.state); err != nil {
+				retire(it)
 				continue
 			}
 		}
-		n.mu.Lock()
-		// A newer hint may have merged in since the snapshot; drop the
-		// entry only if it is still exactly what was delivered, and count a
-		// delivery only when the hint is actually retired — a superseded
-		// hint stays pending and will be counted when its newer state
-		// lands.
-		if perPeer, ok := n.hints[it.peer]; ok {
-			if cur, ok := perPeer[it.key]; ok && storage.EncodeStateEqual(n.cfg.Mech, cur, it.state) {
-				delete(perPeer, it.key)
-				if len(perPeer) == 0 {
-					delete(n.hints, it.peer)
-				}
-				n.stats.HintsDelivered++
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(it hintItem, target dot.ID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := n.replPutBatched(ctx, target, it.key, it.state); err != nil {
+				return
 			}
-		}
-		n.mu.Unlock()
+			retire(it)
+		}(it, target)
 	}
+	wg.Wait()
 }
 
 // antiEntropyDigest is the large-store reconciliation path: exchange
@@ -1234,22 +1331,58 @@ func (n *Node) antiEntropyDigest(ctx context.Context, peer dot.ID, keys []string
 		}
 		peerHashes[k] = h
 	}
-	// Pull the peer's differing keys, then push merged states for every
-	// key in scope (peer keys + our own keys in differing buckets).
+	// Pull the peer's differing keys — pipelined aeRepairWindow at a
+	// time, each pull independent: a failed RPC counts against
+	// Stats.AERepairFailures and the sweep moves on, so one slow peer
+	// exchange cannot strand the rest of the bucket diff (this loop used
+	// to abort on the first error). Only a local persistence failure
+	// (SyncKey) aborts: that is this node's durability problem, not the
+	// network's.
 	scope := make(map[string]bool, len(peerHashes))
 	for k, h := range peerHashes {
 		if hashes[k] != h {
+			scope[k] = true
+		}
+	}
+	pulls := make([]string, 0, len(scope))
+	for k := range scope {
+		pulls = append(pulls, k)
+	}
+	sort.Strings(pulls)
+	var (
+		wg         sync.WaitGroup
+		sem        = make(chan struct{}, aeRepairWindow)
+		pullFailed atomic.Int64
+		syncErr    atomic.Value // first local SyncKey error, fatal
+	)
+	for _, k := range pulls {
+		if ctx.Err() != nil {
+			pullFailed.Add(1)
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			defer func() { <-sem }()
 			st, found, err := n.replGet(ctx, peer, k)
 			if err != nil {
-				return err
+				pullFailed.Add(1)
+				return
 			}
 			if found {
 				if err := n.store.SyncKey(k, st); err != nil {
-					return err
+					syncErr.CompareAndSwap(nil, err)
 				}
 			}
-			scope[k] = true
-		}
+		}(k)
+	}
+	wg.Wait()
+	if f := pullFailed.Load(); f > 0 {
+		n.bump(func(s *Stats) { s.AERepairFailures += uint64(f) })
+	}
+	if err, _ := syncErr.Load().(error); err != nil {
+		return err
 	}
 	for _, k := range antientropy.KeysInBuckets(keys, digest.Buckets(), diffBuckets) {
 		if h, ok := peerHashes[k]; !ok || h != hashes[k] {
@@ -1261,13 +1394,7 @@ func (n *Node) antiEntropyDigest(ctx context.Context, peer dot.ID, keys []string
 		scoped = append(scoped, k)
 	}
 	sort.Strings(scoped)
-	for _, k := range scoped {
-		if merged, ok := n.store.Snapshot(k); ok {
-			if err := n.replPut(ctx, peer, k, merged); err != nil {
-				return err
-			}
-		}
-	}
+	n.pushStates(ctx, peer, scoped)
 	return nil
 }
 

@@ -314,8 +314,14 @@ func TestAntiEntropyLoopRuns(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if a.Stats().AERounds == 0 && b.Stats().AERounds == 0 {
-		t.Fatal("no AE rounds counted")
+	// The round counter increments after the whole reconciliation —
+	// including the pipelined push-back of merged states — finishes, a few
+	// milliseconds after the key itself lands; poll rather than sample.
+	for a.Stats().AERounds == 0 && b.Stats().AERounds == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no AE rounds counted")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

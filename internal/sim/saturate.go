@@ -1,0 +1,328 @@
+package sim
+
+// E3 — transport saturation: the experiment behind the multiplexed
+// data plane. Unlike every other experiment in this package, E3 runs
+// over *real* TCP loopback sockets: each replica owns its own transport
+// and listener, each closed-loop client its own dial-only transport, and
+// the two implementations — the lockstep one-exchange-per-connection
+// baseline and the multiplexed one-connection-per-peer-pair transport
+// with batched replication — serve the identical workload. What is
+// measured is therefore the network path itself: ops/s, client-observed
+// p50/p99, and the per-acknowledged-put network cost (bytes and
+// messages) summed across every transport in the deployment.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/node"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// SaturateConfig parameterises the saturation experiment.
+type SaturateConfig struct {
+	// Nodes is the replica count; N/R/W as in node.Config.
+	Nodes   int
+	N, R, W int
+	// ClientLevels are the closed-loop client counts to sweep (the
+	// offered concurrency); each level runs OpsPerClient puts per client.
+	ClientLevels []int
+	OpsPerClient int
+	// ValueBytes is the put payload size.
+	ValueBytes int
+	// Timeout bounds each client operation.
+	Timeout time.Duration
+	Seed    int64
+	// Transports names the implementations to compare; defaults to
+	// lockstep (per-exchange connections, per-key repl.put) vs mux
+	// (multiplexed connections, batched repl.batch).
+	Transports []string
+}
+
+// DefaultSaturateConfig is sized so the full sweep finishes in a few
+// seconds on one core while still saturating the lockstep path at the
+// top concurrency level.
+func DefaultSaturateConfig() SaturateConfig {
+	return SaturateConfig{
+		Nodes: 3, N: 3, R: 2, W: 2,
+		ClientLevels: []int{1, 8, 64},
+		OpsPerClient: 150,
+		ValueBytes:   128,
+		Timeout:      10 * time.Second,
+		Seed:         17,
+		Transports:   []string{"lockstep", "mux"},
+	}
+}
+
+// SaturateResult is one (transport, concurrency) cell of the sweep.
+type SaturateResult struct {
+	Transport string
+	Clients   int
+	Acked     int
+	Errors    int
+	Elapsed   time.Duration
+	OpsPerSec float64
+	P50, P99  time.Duration
+	// BytesPerOp / MsgsPerOp are total framed bytes / frames across every
+	// transport in the deployment (nodes + clients) divided by acked puts
+	// — the per-operation network cost batching is meant to shrink.
+	BytesPerOp float64
+	MsgsPerOp  float64
+	// Reconnects and Flushes are mux-only counters (0 for lockstep):
+	// connection churn and kernel writes (frames ÷ flushes = coalescing).
+	Reconnects uint64
+	Flushes    uint64
+}
+
+// satTransport is the shape shared by both real-network transports.
+type satTransport interface {
+	transport.Transport
+	transport.AddrBook
+	transport.Meter
+	Listen() error
+}
+
+func newSatTransport(kind string, self dot.ID) (satTransport, error) {
+	switch kind {
+	case "lockstep":
+		return transport.NewTCP(self, map[dot.ID]string{self: "127.0.0.1:0"}), nil
+	case "mux":
+		return transport.NewMux(self, map[dot.ID]string{self: "127.0.0.1:0"}), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown transport %q", kind)
+	}
+}
+
+func newSatClientTransport(kind string, self dot.ID) satTransport {
+	// Clients never listen; a dial-only transport of the matching kind.
+	if kind == "mux" {
+		return transport.NewMux(self, nil)
+	}
+	return transport.NewTCP(self, nil)
+}
+
+// RunSaturate sweeps both transports across the configured concurrency
+// levels and renders the E3 table. The acceptance bar for the batched
+// data plane: at the top concurrency level, mux ops/s ≥ 2× lockstep and
+// messages per acked put strictly lower.
+func RunSaturate(cfg SaturateConfig) ([]SaturateResult, *stats.Table, error) {
+	if cfg.Nodes == 0 {
+		cfg = DefaultSaturateConfig()
+	}
+	if len(cfg.Transports) == 0 {
+		cfg.Transports = []string{"lockstep", "mux"}
+	}
+	var results []SaturateResult
+	for _, kind := range cfg.Transports {
+		for _, clients := range cfg.ClientLevels {
+			res, err := runSaturateOne(cfg, kind, clients)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sim: saturate %s/%d: %w", kind, clients, err)
+			}
+			results = append(results, res)
+		}
+	}
+	t := stats.NewTable("E3 — transport saturation over TCP loopback: lockstep vs multiplexed+batched",
+		"transport", "clients", "acked", "errors", "ops/s", "p50", "p99",
+		"bytes/op", "msgs/op", "reconnects", "flushes")
+	for _, r := range results {
+		t.AddRow(r.Transport, r.Clients, r.Acked, r.Errors,
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			fmt.Sprintf("%.0f", r.BytesPerOp), fmt.Sprintf("%.2f", r.MsgsPerOp),
+			r.Reconnects, r.Flushes)
+	}
+	return results, t, nil
+}
+
+func runSaturateOne(cfg SaturateConfig, kind string, clients int) (SaturateResult, error) {
+	ids := cluster.NodeIDs(cfg.Nodes)
+	rg := ring.New(0)
+	for _, id := range ids {
+		rg.Add(id)
+	}
+	mech := core.NewDVV()
+
+	// One transport + listener per replica, cross-wired by address —
+	// a real multi-process deployment's shape inside one test process.
+	transports := make([]satTransport, cfg.Nodes)
+	for i, id := range ids {
+		tr, err := newSatTransport(kind, id)
+		if err != nil {
+			return SaturateResult{}, err
+		}
+		if err := tr.Listen(); err != nil {
+			return SaturateResult{}, err
+		}
+		transports[i] = tr
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
+	for i := range transports {
+		for j, id := range ids {
+			if i != j {
+				transports[i].SetAddr(id, transports[j].Addr())
+			}
+		}
+	}
+
+	nodes := make([]*node.Node, cfg.Nodes)
+	for i, id := range ids {
+		nd, err := node.New(node.Config{
+			ID: id, Mech: mech, Transport: transports[i], Ring: rg,
+			N: cfg.N, R: cfg.R, W: cfg.W,
+			Timeout:     cfg.Timeout,
+			ReadRepair:  true,
+			NoReplBatch: kind == "lockstep", // the pre-batching baseline
+			Seed:        cfg.Seed + int64(i),
+			Addr:        transports[i].Addr(),
+		})
+		if err != nil {
+			return SaturateResult{}, err
+		}
+		nodes[i] = nd
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	// Closed-loop clients: each owns one key and chains contexts
+	// (read-your-writes sessions), so the workload is pure coordinated
+	// puts with no sibling growth — the replication fan-out is what gets
+	// saturated.
+	clientTrs := make([]satTransport, clients)
+	for c := 0; c < clients; c++ {
+		ct := newSatClientTransport(kind, dot.ID(fmt.Sprintf("sat-c%03d", c)))
+		for j, id := range ids {
+			ct.SetAddr(id, transports[j].Addr())
+		}
+		clientTrs[c] = ct
+	}
+	defer func() {
+		for _, ct := range clientTrs {
+			ct.Close()
+		}
+	}()
+
+	var (
+		wg      sync.WaitGroup
+		start   = make(chan struct{})
+		errCnt  atomic.Int64
+		ackCnt  atomic.Int64
+		histMu  sync.Mutex
+		latency = &stats.Histogram{}
+	)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := &stats.Histogram{}
+			defer func() {
+				histMu.Lock()
+				latency.Merge(h)
+				histMu.Unlock()
+			}()
+			tr := clientTrs[c]
+			self := dot.ID(fmt.Sprintf("sat-c%03d", c))
+			key := fmt.Sprintf("sat-key-%03d", c)
+			sess := mech.EmptyContext()
+			<-start
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				coord, ok := rg.Coordinator(key)
+				if !ok {
+					errCnt.Add(1)
+					continue
+				}
+				body := node.EncodePutRequest(mech, key, sess, value, self)
+				cctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+				t0 := time.Now()
+				resp, err := tr.Send(cctx, self, coord, transport.Request{
+					Method: node.MethodPut, Body: body,
+				})
+				cancel()
+				if err == nil {
+					err = transport.AppError(resp)
+				}
+				if err != nil {
+					errCnt.Add(1)
+					continue
+				}
+				rr, derr := node.DecodeReadResult(mech, resp.Body)
+				if derr != nil {
+					errCnt.Add(1)
+					continue
+				}
+				h.Observe(time.Since(t0))
+				ackCnt.Add(1)
+				sess = rr.Ctx
+			}
+		}()
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := SaturateResult{
+		Transport: kind,
+		Clients:   clients,
+		Acked:     int(ackCnt.Load()),
+		Errors:    int(errCnt.Load()),
+		Elapsed:   elapsed,
+		P50:       latency.Quantile(0.50),
+		P99:       latency.Quantile(0.99),
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Acked) / elapsed.Seconds()
+	}
+	var bytes, msgs uint64
+	meters := make([]transport.Meter, 0, cfg.Nodes+clients)
+	for _, tr := range transports {
+		meters = append(meters, tr)
+	}
+	for _, ct := range clientTrs {
+		meters = append(meters, ct)
+	}
+	for _, m := range meters {
+		bytes += m.BytesSent()
+		msgs += m.MessagesSent()
+	}
+	if res.Acked > 0 {
+		res.BytesPerOp = float64(bytes) / float64(res.Acked)
+		res.MsgsPerOp = float64(msgs) / float64(res.Acked)
+	}
+	if kind == "mux" {
+		for _, tr := range transports {
+			if mx, ok := tr.(*transport.Mux); ok {
+				res.Reconnects += mx.Reconnects()
+				res.Flushes += mx.Flushes()
+			}
+		}
+		for _, ct := range clientTrs {
+			if mx, ok := ct.(*transport.Mux); ok {
+				res.Reconnects += mx.Reconnects()
+				res.Flushes += mx.Flushes()
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSaturateSmoke runs a miniature E3 sweep over real loopback sockets
+// — both transports must serve every op, and the counters must account
+// the traffic.
+func TestSaturateSmoke(t *testing.T) {
+	cfg := SaturateConfig{
+		Nodes: 3, N: 3, R: 1, W: 2,
+		ClientLevels: []int{1, 8},
+		OpsPerClient: 20,
+		ValueBytes:   64,
+		Timeout:      10 * time.Second,
+		Seed:         5,
+	}
+	results, table, err := RunSaturate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 { // 2 transports × 2 levels
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		want := r.Clients * cfg.OpsPerClient
+		if r.Acked != want || r.Errors != 0 {
+			t.Fatalf("%s/%d: acked=%d errors=%d, want %d acked clean", r.Transport, r.Clients, r.Acked, r.Errors, want)
+		}
+		if r.OpsPerSec <= 0 || r.P50 <= 0 || r.P99 < r.P50 {
+			t.Fatalf("%s/%d: degenerate latency stats: %+v", r.Transport, r.Clients, r)
+		}
+		if r.BytesPerOp <= 0 || r.MsgsPerOp <= 0 {
+			t.Fatalf("%s/%d: missing network accounting: bytes/op=%.1f msgs/op=%.2f", r.Transport, r.Clients, r.BytesPerOp, r.MsgsPerOp)
+		}
+		if r.Transport == "mux" && r.Flushes == 0 {
+			t.Fatalf("mux/%d: no flushes counted", r.Clients)
+		}
+		if r.Transport == "lockstep" && (r.Flushes != 0 || r.Reconnects != 0) {
+			t.Fatalf("lockstep/%d: mux-only counters populated: %+v", r.Clients, r)
+		}
+	}
+	if len(table.Rows) != len(results) {
+		t.Fatalf("table rows %d != results %d", len(table.Rows), len(results))
+	}
+}

@@ -1,0 +1,720 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dot"
+)
+
+// Mux is the multiplexed TCP transport: one long-lived connection per
+// peer pair carrying many concurrent in-flight requests, instead of the
+// lockstep transport's one-exchange-per-connection discipline.
+//
+// Every message is a codec length frame whose payload starts with a kind
+// byte:
+//
+//	hello:    kind=0, sender id        (first frame after dialing)
+//	request:  kind=1, reqID, from, method, body
+//	response: kind=2, reqID, err, body
+//
+// Responses are correlated to requests by reqID, so they may return out
+// of order and a slow request never blocks the ones behind it. Each
+// established connection runs two goroutines: a reader that dispatches
+// inbound requests (one handler goroutine per request) and matches
+// inbound responses against the pending table, and a writer that drains
+// the outbound queue, coalescing every queued frame into a single
+// buffer per flush — one kernel write carries as many frames as arrived
+// while the previous flush was in flight (writev-style batching).
+//
+// Deadlines are per request, not per connection: a request whose context
+// expires fails at the caller while the connection — and every other
+// in-flight request on it — keeps going; the late response is dropped on
+// arrival. Only transport-level failures (read/write errors, peer close)
+// tear a connection down, failing its in-flight requests; the next Send
+// redials, with exponential backoff after consecutive dial failures, and
+// Reconnects counts every re-established peer connection.
+//
+// A dialed connection announces its owner with a hello frame; the
+// acceptor registers it as its own outbound channel to that peer if it
+// has none, so in steady state one TCP connection serves both directions
+// of a peer pair.
+type Mux struct {
+	self dot.ID
+
+	mu      sync.Mutex
+	addrs   map[dot.ID]string
+	conns   map[dot.ID]*muxConn      // outbound channel per peer
+	all     map[*muxConn]struct{}    // every live conn incl. accepted duplicates
+	hs      map[net.Conn]struct{}    // accepted conns still mid-handshake
+	dial    map[dot.ID]*dialState    // reconnect backoff per peer
+	dialing map[dot.ID]chan struct{} // single-flight guard: one dial per peer
+	ever    map[dot.ID]bool          // peers we have had a connection with
+	h       Handler
+	ln      net.Listener
+
+	done  chan struct{}
+	close sync.Once
+	wg    sync.WaitGroup
+
+	bytesSent  atomic.Uint64
+	msgsSent   atomic.Uint64
+	flushes    atomic.Uint64
+	reconnects atomic.Uint64
+}
+
+// Frame kind bytes.
+const (
+	muxKindHello byte = iota
+	muxKindRequest
+	muxKindResponse
+)
+
+const (
+	// muxDialTimeout bounds one connection attempt.
+	muxDialTimeout = 5 * time.Second
+	// muxBackoffBase/Max shape the reconnect backoff: after k consecutive
+	// dial failures to a peer, further Sends fail fast (no dial) until
+	// base<<(k-1) has elapsed, capped at max.
+	muxBackoffBase = 10 * time.Millisecond
+	muxBackoffMax  = 2 * time.Second
+	// muxQueueFrames bounds each connection's outbound queue; a full queue
+	// back-pressures senders and handler goroutines.
+	muxQueueFrames = 256
+	// muxFlushBytes caps how many coalesced bytes one flush accumulates
+	// before handing them to the kernel.
+	muxFlushBytes = 256 << 10
+	// muxHelloTimeout bounds how long an accepted connection may take to
+	// identify itself before it is dropped.
+	muxHelloTimeout = 5 * time.Second
+)
+
+type dialState struct {
+	fails int
+	until time.Time
+}
+
+// muxResult is what a pending request resolves to: a response, or the
+// connection-level error that killed it.
+type muxResult struct {
+	resp Response
+	err  error
+}
+
+// muxConn is one established connection (dialed or accepted).
+type muxConn struct {
+	owner *Mux
+	peer  dot.ID
+	nc    net.Conn
+	wq    chan []byte
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxResult
+	nextReq uint64
+	failed  bool
+	err     error
+	dead    chan struct{}
+}
+
+// NewMux creates a multiplexed transport for node self. addrs maps node
+// ids (including self, when this transport will Listen) to host:port.
+func NewMux(self dot.ID, addrs map[dot.ID]string) *Mux {
+	cp := make(map[dot.ID]string, len(addrs))
+	for id, a := range addrs {
+		cp[id] = a
+	}
+	return &Mux{
+		self:    self,
+		addrs:   cp,
+		conns:   make(map[dot.ID]*muxConn),
+		all:     make(map[*muxConn]struct{}),
+		hs:      make(map[net.Conn]struct{}),
+		dial:    make(map[dot.ID]*dialState),
+		dialing: make(map[dot.ID]chan struct{}),
+		ever:    make(map[dot.ID]bool),
+		done:    make(chan struct{}),
+	}
+}
+
+// Register installs the handler served to inbound requests. Ids other
+// than self are ignored (one process, one identity).
+func (t *Mux) Register(id dot.ID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id == t.self {
+		t.h = h
+	}
+}
+
+// Listen binds the node's address and serves connections until Close.
+func (t *Mux) Listen() error {
+	t.mu.Lock()
+	addr, ok := t.addrs[t.self]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no address for self %q", t.self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.addrs[t.self] = ln.Addr().String()
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (after Listen).
+func (t *Mux) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[t.self]
+}
+
+// SetAddr records or updates a peer's dialable address.
+func (t *Mux) SetAddr(id dot.ID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+}
+
+// Peers returns the current id→address map (a copy), including self.
+func (t *Mux) Peers() map[dot.ID]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[dot.ID]string, len(t.addrs))
+	for id, a := range t.addrs {
+		out[id] = a
+	}
+	return out
+}
+
+// Deregister forgets a peer: its address and backoff state are dropped
+// and its connection (with every in-flight request on it) is failed.
+// Deregistering self clears the handler.
+func (t *Mux) Deregister(id dot.ID) {
+	t.mu.Lock()
+	if id == t.self {
+		t.h = nil
+		t.mu.Unlock()
+		return
+	}
+	delete(t.addrs, id)
+	delete(t.dial, id)
+	c := t.conns[id]
+	t.mu.Unlock()
+	if c != nil {
+		c.fail(fmt.Errorf("%w: peer %s deregistered", ErrUnreachable, id))
+	}
+}
+
+// BytesSent returns the cumulative framed bytes this transport wrote
+// (payload plus codec.FrameOverhead per frame) — the wire-traffic
+// counter the saturation experiment reads.
+func (t *Mux) BytesSent() uint64 { return t.bytesSent.Load() }
+
+// MessagesSent returns the number of frames this transport wrote
+// (requests and responses it originated, plus one hello per dial).
+func (t *Mux) MessagesSent() uint64 { return t.msgsSent.Load() }
+
+// Flushes returns how many kernel writes carried those frames; frames ÷
+// flushes is the coalescing factor of the writer loop.
+func (t *Mux) Flushes() uint64 { return t.flushes.Load() }
+
+// Reconnects counts connections re-established to peers this transport
+// had already been connected to — conn churn that the lockstep transport
+// pays per failed exchange and the mux pays only on real failures.
+func (t *Mux) Reconnects() uint64 { return t.reconnects.Load() }
+
+// ---------------------------------------------------------------------------
+// Connection establishment.
+// ---------------------------------------------------------------------------
+
+func (t *Mux) newConn(peer dot.ID, nc net.Conn) *muxConn {
+	return &muxConn{
+		owner:   t,
+		peer:    peer,
+		nc:      nc,
+		wq:      make(chan []byte, muxQueueFrames),
+		pending: make(map[uint64]chan muxResult),
+		dead:    make(chan struct{}),
+	}
+}
+
+// startConn brings an accepted connection into service: it joins the
+// live set, becomes the outbound channel to its peer if none exists (one
+// connection per peer pair), and starts its loops. Callers must hold no
+// locks.
+func (t *Mux) startConn(c *muxConn) {
+	t.mu.Lock()
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		// Shutdown began before the loops started: fail the conn so any
+		// caller already holding it gets an immediate error instead of
+		// waiting out its context on a queue nobody drains.
+		c.fail(ErrClosed)
+		return
+	default:
+	}
+	t.all[c] = struct{}{}
+	if t.conns[c.peer] == nil {
+		t.conns[c.peer] = c
+		t.ever[c.peer] = true
+	}
+	t.wg.Add(2)
+	t.mu.Unlock()
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// conn returns the established connection for `to`, dialing one if
+// needed. Dials are single-flighted per peer: concurrent Sends to a
+// not-yet-connected peer wait for the one in-flight dial instead of
+// racing their own (and leaking never-adopted duplicate connections).
+func (t *Mux) conn(ctx context.Context, to dot.ID) (*muxConn, error) {
+	for {
+		t.mu.Lock()
+		if c := t.conns[to]; c != nil {
+			t.mu.Unlock()
+			return c, nil
+		}
+		addr, ok := t.addrs[to]
+		if !ok {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: no address for %q", ErrUnreachable, to)
+		}
+		if ds := t.dial[to]; ds != nil && time.Now().Before(ds.until) {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: dial backoff for %q (%d consecutive failures)", ErrUnreachable, to, ds.fails)
+		}
+		if ch := t.dialing[to]; ch != nil {
+			t.mu.Unlock()
+			select {
+			case <-ch:
+				continue // re-check: an adopted conn or a recorded backoff
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: awaiting dial to %q: %v", ErrUnreachable, to, ctx.Err())
+			case <-t.done:
+				return nil, ErrClosed
+			}
+		}
+		ch := make(chan struct{})
+		t.dialing[to] = ch
+		t.mu.Unlock()
+
+		c, err := t.dialPeer(ctx, to, addr)
+
+		t.mu.Lock()
+		delete(t.dialing, to)
+		close(ch)
+		t.mu.Unlock()
+		return c, err
+	}
+}
+
+// dialPeer dials addr, sends the hello, registers the connection and
+// starts its loops; on failure it records the reconnect backoff. Called
+// with the single-flight slot held.
+func (t *Mux) dialPeer(ctx context.Context, to dot.ID, addr string) (*muxConn, error) {
+	d := net.Dialer{Timeout: muxDialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		t.mu.Lock()
+		ds := t.dial[to]
+		if ds == nil {
+			ds = &dialState{}
+			t.dial[to] = ds
+		}
+		ds.fails++
+		backoff := muxBackoffBase << min(ds.fails-1, 20)
+		if backoff > muxBackoffMax || backoff <= 0 {
+			backoff = muxBackoffMax
+		}
+		ds.until = time.Now().Add(backoff)
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
+	}
+	c := t.newConn(to, nc)
+	// The hello must be the first frame on the wire; the queue is fresh,
+	// so this cannot block.
+	w := codec.NewWriter(16 + len(t.self))
+	w.Byte(muxKindHello)
+	w.String(string(t.self))
+	c.wq <- w.Bytes()
+
+	t.mu.Lock()
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		c.fail(ErrClosed)
+		return nil, ErrClosed
+	default:
+	}
+	if existing := t.conns[to]; existing != nil {
+		// An accepted connection from this peer was adopted while we
+		// dialed; use it and drop ours (never started, nothing pending).
+		t.mu.Unlock()
+		c.fail(fmt.Errorf("transport: duplicate connection to %s", to))
+		return existing, nil
+	}
+	delete(t.dial, to)
+	reconnect := t.ever[to]
+	t.ever[to] = true
+	t.conns[to] = c
+	t.all[c] = struct{}{}
+	t.wg.Add(2)
+	t.mu.Unlock()
+	if reconnect {
+		t.reconnects.Add(1)
+	}
+	go c.readLoop()
+	go c.writeLoop()
+	return c, nil
+}
+
+func (t *Mux) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		t.wg.Add(1)
+		go t.handshake(nc)
+	}
+}
+
+// handshake reads the hello frame off an accepted connection and brings
+// it into service.
+func (t *Mux) handshake(nc net.Conn) {
+	defer t.wg.Done()
+	// Track the conn so Close can cut a handshake short instead of
+	// waiting out the hello deadline.
+	t.mu.Lock()
+	select {
+	case <-t.done:
+		t.mu.Unlock()
+		nc.Close()
+		return
+	default:
+	}
+	t.hs[nc] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.hs, nc)
+		t.mu.Unlock()
+	}()
+	_ = nc.SetReadDeadline(time.Now().Add(muxHelloTimeout))
+	frame, err := codec.ReadFrame(nc)
+	if err != nil {
+		nc.Close()
+		return
+	}
+	_ = nc.SetReadDeadline(time.Time{})
+	if len(frame) < 1 || frame[0] != muxKindHello {
+		nc.Close()
+		return
+	}
+	r := codec.NewReader(frame[1:])
+	peer := dot.ID(r.String())
+	r.ExpectEOF()
+	if r.Err() != nil || peer == "" {
+		nc.Close()
+		return
+	}
+	t.startConn(t.newConn(peer, nc))
+}
+
+// ---------------------------------------------------------------------------
+// Connection loops.
+// ---------------------------------------------------------------------------
+
+// fail tears the connection down once: it records err, closes the socket,
+// resolves every pending request with err, and removes the conn from the
+// owner's tables.
+func (c *muxConn) fail(err error) {
+	c.mu.Lock()
+	if c.failed {
+		c.mu.Unlock()
+		return
+	}
+	c.failed = true
+	if err == nil {
+		err = ErrClosed
+	}
+	c.err = err
+	pend := c.pending
+	c.pending = nil
+	close(c.dead)
+	c.mu.Unlock()
+
+	c.nc.Close()
+	for _, ch := range pend {
+		ch <- muxResult{err: err} // buffered 1, one send per entry
+	}
+	t := c.owner
+	t.mu.Lock()
+	delete(t.all, c)
+	if t.conns[c.peer] == c {
+		delete(t.conns, c.peer)
+	}
+	t.mu.Unlock()
+}
+
+func (c *muxConn) readLoop() {
+	defer c.owner.wg.Done()
+	for {
+		frame, err := codec.ReadFrame(c.nc)
+		if err != nil {
+			c.fail(fmt.Errorf("transport: recv from %s: %w", c.peer, err))
+			return
+		}
+		if len(frame) < 1 {
+			c.fail(fmt.Errorf("transport: empty frame from %s", c.peer))
+			return
+		}
+		r := codec.NewReader(frame[1:])
+		switch frame[0] {
+		case muxKindRequest:
+			reqID := r.Uvarint()
+			from := dot.ID(r.String())
+			method := r.String()
+			body := r.BytesField()
+			r.ExpectEOF()
+			if r.Err() != nil {
+				c.fail(fmt.Errorf("transport: corrupt request from %s: %w", c.peer, r.Err()))
+				return
+			}
+			c.owner.mu.Lock()
+			h := c.owner.h
+			c.owner.mu.Unlock()
+			// One goroutine per request is what lets a slow request share
+			// the connection with fast ones. The readLoop holds a WaitGroup
+			// slot while it runs, so this Add cannot race Close's Wait.
+			c.owner.wg.Add(1)
+			go func() {
+				defer c.owner.wg.Done()
+				var resp Response
+				if h == nil {
+					resp = Response{Err: "no handler registered"}
+				} else {
+					resp = h(context.Background(), from, Request{Method: method, Body: body})
+				}
+				w := codec.NewWriter(16 + len(resp.Err) + len(resp.Body))
+				w.Byte(muxKindResponse)
+				w.Uvarint(reqID)
+				w.String(resp.Err)
+				w.BytesField(resp.Body)
+				if w.Len() > codec.MaxFrameBytes {
+					// The response cannot cross the wire; report that to
+					// the requester instead of killing the connection.
+					w = codec.NewWriter(64)
+					w.Byte(muxKindResponse)
+					w.Uvarint(reqID)
+					w.String("response exceeds frame limit")
+					w.BytesField(nil)
+				}
+				select {
+				case c.wq <- w.Bytes():
+				case <-c.dead: // conn died; response is moot
+				}
+			}()
+		case muxKindResponse:
+			reqID := r.Uvarint()
+			errStr := r.String()
+			body := r.BytesField()
+			r.ExpectEOF()
+			if r.Err() != nil {
+				c.fail(fmt.Errorf("transport: corrupt response from %s: %w", c.peer, r.Err()))
+				return
+			}
+			c.mu.Lock()
+			ch := c.pending[reqID]
+			delete(c.pending, reqID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- muxResult{resp: Response{Err: errStr, Body: body}}
+			}
+			// No pending entry: the request timed out and was abandoned;
+			// drop the late response.
+		case muxKindHello:
+			// Tolerated mid-stream (idempotent identity announcement).
+		default:
+			c.fail(fmt.Errorf("transport: unknown frame kind %d from %s", frame[0], c.peer))
+			return
+		}
+	}
+}
+
+// writeLoop drains the outbound queue. Every frame queued while the
+// previous flush was on the wire is coalesced into one buffer and handed
+// to the kernel in a single write.
+func (c *muxConn) writeLoop() {
+	defer c.owner.wg.Done()
+	var buf []byte
+	for {
+		var first []byte
+		select {
+		case first = <-c.wq:
+		case <-c.dead:
+			return
+		}
+		buf = buf[:0]
+		var err error
+		buf, err = codec.AppendFrame(buf, first)
+		frames := uint64(1)
+		for err == nil && len(buf) < muxFlushBytes {
+			select {
+			case f := <-c.wq:
+				buf, err = codec.AppendFrame(buf, f)
+				frames++
+			default:
+				goto flush
+			}
+		}
+	flush:
+		if err == nil {
+			_, err = c.nc.Write(buf)
+		}
+		if err != nil {
+			c.fail(fmt.Errorf("transport: send to %s: %w", c.peer, err))
+			return
+		}
+		c.owner.msgsSent.Add(frames)
+		c.owner.bytesSent.Add(uint64(len(buf)))
+		c.owner.flushes.Add(1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Send.
+// ---------------------------------------------------------------------------
+
+// register allocates a request id and its result channel.
+func (c *muxConn) register() (uint64, chan muxResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return 0, nil, c.err
+	}
+	c.nextReq++
+	ch := make(chan muxResult, 1)
+	c.pending[c.nextReq] = ch
+	return c.nextReq, ch, nil
+}
+
+func (c *muxConn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Send delivers req to `to` over the shared connection and waits for the
+// matching response. The context bounds only this request: on expiry the
+// request fails but the connection (and other in-flight requests) live
+// on.
+func (t *Mux) Send(ctx context.Context, from, to dot.ID, req Request) (Response, error) {
+	select {
+	case <-t.done:
+		return Response{}, ErrClosed
+	default:
+	}
+	c, err := t.conn(ctx, to)
+	if err != nil {
+		return Response{}, err
+	}
+	reqID, ch, err := c.register()
+	if err != nil {
+		return Response{}, fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	w := codec.NewWriter(48 + len(req.Body))
+	w.Byte(muxKindRequest)
+	w.Uvarint(reqID)
+	w.String(string(from))
+	w.String(req.Method)
+	w.BytesField(req.Body)
+	// Reject oversized frames here, where only this request fails; an
+	// error surfacing inside the shared writer loop would tear down the
+	// connection and every other in-flight request with it.
+	if w.Len() > codec.MaxFrameBytes {
+		c.unregister(reqID)
+		return Response{}, fmt.Errorf("transport: send to %s: frame of %d bytes exceeds limit", to, w.Len())
+	}
+	select {
+	case c.wq <- w.Bytes():
+	case <-c.dead:
+		c.unregister(reqID)
+		return Response{}, fmt.Errorf("transport: send to %s: %w", to, c.err)
+	case <-ctx.Done():
+		c.unregister(reqID)
+		return Response{}, fmt.Errorf("transport: send to %s: %w", to, ctx.Err())
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return Response{}, fmt.Errorf("transport: send to %s: %w", to, res.err)
+		}
+		return res.resp, nil
+	case <-ctx.Done():
+		c.unregister(reqID)
+		// A response may have raced the deadline; prefer it.
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				return res.resp, nil
+			}
+		default:
+		}
+		return Response{}, fmt.Errorf("transport: send to %s: %w", to, ctx.Err())
+	case <-t.done:
+		c.unregister(reqID)
+		return Response{}, ErrClosed
+	}
+}
+
+// Close stops the listener, fails every connection (resolving in-flight
+// requests with errors) and waits for all goroutines.
+func (t *Mux) Close() error {
+	var err error
+	t.close.Do(func() {
+		close(t.done)
+		t.mu.Lock()
+		if t.ln != nil {
+			err = t.ln.Close()
+		}
+		conns := make([]*muxConn, 0, len(t.all))
+		for c := range t.all {
+			conns = append(conns, c)
+		}
+		for nc := range t.hs {
+			nc.Close()
+		}
+		t.mu.Unlock()
+		for _, c := range conns {
+			c.fail(ErrClosed)
+		}
+		t.wg.Wait()
+	})
+	return err
+}
+
+var (
+	_ Transport = (*Mux)(nil)
+	_ AddrBook  = (*Mux)(nil)
+)

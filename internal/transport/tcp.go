@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
@@ -28,6 +29,9 @@ type TCP struct {
 	wg     sync.WaitGroup
 	done   chan struct{}
 	close  sync.Once
+
+	bytesSent atomic.Uint64
+	msgsSent  atomic.Uint64
 }
 
 // maxIdlePerPeer bounds the connection pool per destination.
@@ -257,11 +261,15 @@ func (t *TCP) Send(ctx context.Context, from, to dot.ID, req Request) (Response,
 		conn.Close()
 		return Response{}, fmt.Errorf("transport: send to %s: %w", to, err)
 	}
+	t.msgsSent.Add(1)
+	t.bytesSent.Add(uint64(w.Len() + codec.FrameOverhead))
 	frame, err := codec.ReadFrame(conn)
 	if err != nil {
 		conn.Close()
 		return Response{}, fmt.Errorf("transport: recv from %s: %w", to, err)
 	}
+	t.msgsSent.Add(1)
+	t.bytesSent.Add(uint64(len(frame) + codec.FrameOverhead))
 	r := codec.NewReader(frame)
 	resp := Response{Err: r.String(), Body: r.BytesField()}
 	if r.Err() != nil {
@@ -271,6 +279,18 @@ func (t *TCP) Send(ctx context.Context, from, to dot.ID, req Request) (Response,
 	t.putConn(to, conn)
 	return resp, nil
 }
+
+// BytesSent returns the cumulative framed bytes of the exchanges this
+// transport initiated (request frames written plus response frames read,
+// each including codec.FrameOverhead). Responses a Send reads are
+// accounted here — not at the serving peer — so summing counters across
+// every transport in a deployment counts each frame exactly once,
+// matching the Memory and Mux accounting.
+func (t *TCP) BytesSent() uint64 { return t.bytesSent.Load() }
+
+// MessagesSent returns the number of frames in the exchanges this
+// transport initiated (one request plus one response per completed Send).
+func (t *TCP) MessagesSent() uint64 { return t.msgsSent.Load() }
 
 // Close stops the listener, closes pooled connections and waits for
 // serving goroutines to finish.
@@ -299,4 +319,10 @@ func (t *TCP) Close() error {
 	return err
 }
 
-var _ Transport = (*TCP)(nil)
+var (
+	_ Transport = (*TCP)(nil)
+	_ AddrBook  = (*TCP)(nil)
+	_ Meter     = (*TCP)(nil)
+	_ Meter     = (*Memory)(nil)
+	_ Meter     = (*Mux)(nil)
+)

@@ -1,12 +1,17 @@
 // Package transport is the message layer between replica servers and
-// clients. Two interchangeable implementations back the same interface:
+// clients. Three interchangeable implementations back the same interface:
 //
 //   - Memory: an in-process simulated network with seeded latency
 //     distributions, per-byte transfer cost, message drops and partitions.
 //     The latency experiments (C3) run on it so that metadata size has a
 //     controlled, reproducible effect on request latency.
-//   - TCP: a real network transport (length-framed binary messages over
-//     net.Conn) used by cmd/dvvstore.
+//   - TCP: the lockstep real-network transport — one framed
+//     request/response exchange at a time per pooled connection. Kept as
+//     the A/B baseline for the saturation experiment (E3).
+//   - Mux: the multiplexed real-network transport — one long-lived
+//     connection per peer pair carrying concurrent in-flight requests,
+//     with coalesced flushes and reconnect backoff. The default for
+//     cmd/dvvstore.
 //
 // Requests are (method, body) pairs; bodies are opaque mechanism-encoded
 // payloads produced with internal/codec.
@@ -66,6 +71,20 @@ type AddrBook interface {
 	Addr() string
 	// Peers returns the current id→address map (a copy), including self.
 	Peers() map[dot.ID]string
+}
+
+// Meter is implemented by transports that account their wire traffic.
+// All three implementations (Memory, TCP, Mux) satisfy it; the
+// saturation experiment (E3) sums counters across every transport in a
+// deployment to report per-operation network cost. Counter semantics:
+// each transport counts the frames *it* puts on the wire (requests it
+// originates plus, for the mux, responses it writes), so cluster-wide
+// sums are comparable across implementations.
+type Meter interface {
+	// BytesSent returns cumulative framed payload bytes sent.
+	BytesSent() uint64
+	// MessagesSent returns the number of messages (frames) sent.
+	MessagesSent() uint64
 }
 
 // ErrUnreachable reports that the destination is not registered, the
