@@ -6,6 +6,7 @@ import (
 	"repro/internal/dot"
 	idvv "repro/internal/dvv"
 	"repro/internal/dvvset"
+	"repro/internal/storage"
 	"repro/internal/vv"
 )
 
@@ -117,6 +118,15 @@ type Cluster = cluster.Cluster
 
 // ClusterConfig parameterises NewCluster.
 type ClusterConfig = cluster.Config
+
+// Storage engine names for ClusterConfig.Engine: EngineMemory keeps every
+// key's state resident (optionally durable behind a WAL + snapshots);
+// EngineTiered bounds resident state to ClusterConfig.MemBudget bytes and
+// spills cold states to on-disk segments (requires DataRoot).
+const (
+	EngineMemory = storage.EngineMemory
+	EngineTiered = storage.EngineTiered
+)
 
 // Client is a session-holding store client.
 type Client = cluster.Client

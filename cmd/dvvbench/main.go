@@ -14,6 +14,7 @@
 //	dvvbench -experiment ablation       # A1: DVV vs DVVSet
 //	dvvbench -experiment churn          # E1: elastic membership under writes
 //	dvvbench -experiment saturate       # E3: transport saturation (lockstep vs mux over real TCP)
+//	dvvbench -experiment tiered         # D4: bounded-memory tiered engine vs all-memory
 //	dvvbench -churn                     # shorthand for -experiment churn
 //	dvvbench -experiment riak -csv      # CSV instead of aligned text
 //	dvvbench -json > BENCH_N.json       # machine-readable snapshot of all tables
@@ -40,7 +41,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|all")
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|tiered|all")
 		churn      = fs.Bool("churn", false, "shorthand for -experiment churn (elastic membership scenario)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
@@ -181,6 +182,14 @@ func run(args []string) error {
 				return err
 			}
 			emit(table)
+		case "tiered":
+			cfg := sim.DefaultTieredConfig()
+			cfg.Seed = *seed
+			table, err := sim.RunTieredStorage(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
 		case "ablation":
 			emit(sim.RunDVVSetAblation(sim.DefaultAblationConfig()),
 				sim.RunAblationTrace(sim.DefaultAblationConfig()))
@@ -207,7 +216,7 @@ func run(args []string) error {
 		*experiment = "churn"
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "saturate"} {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

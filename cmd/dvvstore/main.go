@@ -101,6 +101,8 @@ func serve(args []string) error {
 		sloppy = fs.Bool("sloppy", true, "sloppy quorums: unreachable replicas fall back down the ring with a hint")
 		data   = fs.String("data", "", "data directory: persist with a write-ahead log and atomic snapshots, recovering state on restart (empty = in-memory)")
 		fsync  = fs.Bool("fsync", true, "fsync every WAL commit before acking a write (with -data); off trades the unsynced tail for latency")
+		engine = fs.String("engine", "memory", "storage engine (with -data): memory (whole keyspace resident) or tiered (byte-budgeted hot cache over spill segments)")
+		budget = fs.Int64("mem-budget", 0, "tiered engine hot-cache byte budget (0 = default 64 MiB)")
 		trans  = fs.String("transport", "mux", "wire transport: mux (multiplexed, one conn per peer pair) or lockstep (one exchange per pooled conn); every node and client must agree")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -145,6 +147,8 @@ func serve(args []string) error {
 		Addr:                tcp.Addr(),
 		DataDir:             *data,
 		Fsync:               *fsync,
+		Engine:              *engine,
+		MemBudget:           *budget,
 	})
 	if err != nil {
 		return err
@@ -152,8 +156,8 @@ func serve(args []string) error {
 	defer nd.Close()
 	if *data != "" {
 		rec := nd.Store().Recovery()
-		fmt.Printf("dvvstore: durable in %s (fsync=%v): recovered %d keys (%d snapshot keys, %d WAL records, %d torn bytes truncated)\n",
-			*data, *fsync, nd.Store().Len(), rec.SnapshotKeys, rec.WALRecords, rec.TornBytes)
+		fmt.Printf("dvvstore: durable in %s (engine=%s fsync=%v): recovered %d keys (%d base keys, %d WAL records, %d torn bytes truncated)\n",
+			*data, nd.Store().Name(), *fsync, nd.Store().Len(), rec.SnapshotKeys, rec.WALRecords, rec.TornBytes)
 	}
 	if *join != "" {
 		// The joiner only knows a host:port; a throwaway peer entry lets

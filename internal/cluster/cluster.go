@@ -71,6 +71,14 @@ type Config struct {
 	// (only meaningful with DataRoot).
 	Fsync bool
 
+	// Engine selects each node's storage engine (storage.EngineMemory or
+	// storage.EngineTiered; empty means memory). Tiered requires DataRoot.
+	Engine string
+
+	// MemBudget bounds each node's tiered hot cache in bytes
+	// (0 = storage.DefaultMemBudget; ignored by the memory engine).
+	MemBudget int64
+
 	// RepairConcurrency caps each node's background repair goroutines
 	// (see node.Config); 0 means node.DefaultRepairConcurrency.
 	RepairConcurrency int
@@ -191,6 +199,8 @@ func (c *Cluster) startNode(id dot.ID, seedOffset int64) (*node.Node, error) {
 		RepairConcurrency:   c.cfg.RepairConcurrency,
 		DataDir:             dataDir,
 		Fsync:               c.cfg.Fsync,
+		Engine:              c.cfg.Engine,
+		MemBudget:           c.cfg.MemBudget,
 		Seed:                c.cfg.Seed + seedOffset,
 	})
 }

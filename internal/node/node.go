@@ -115,6 +115,16 @@ type Config struct {
 	// counter it ever issued — on restart. Empty means in-memory only.
 	DataDir string
 
+	// Engine selects the storage engine (storage.EngineMemory or
+	// storage.EngineTiered; empty means memory). The tiered engine is a
+	// byte-budgeted hot cache over on-disk spill segments and requires
+	// DataDir.
+	Engine string
+
+	// MemBudget bounds the tiered engine's hot-cache bytes
+	// (0 = storage.DefaultMemBudget; ignored by the memory engine).
+	MemBudget int64
+
 	// Fsync makes every WAL commit fsync before a write is acknowledged
 	// (only meaningful with DataDir). Off, a crash can lose the unsynced
 	// log tail — never a torn record, but possibly acked writes, and with
@@ -182,6 +192,9 @@ func (c *Config) validate() error {
 	if c.ReplBatchKeys < 1 {
 		c.ReplBatchKeys = DefaultReplBatchKeys
 	}
+	if c.Engine == storage.EngineTiered && c.DataDir == "" {
+		return errors.New("node: engine=tiered requires DataDir")
+	}
 	return nil
 }
 
@@ -223,12 +236,24 @@ type Stats struct {
 	// skipped, not fatal: the sweep continues and a later round retries
 	// them.
 	AERepairFailures uint64
+
+	// Engine-level store counters, filled from storage.Stats at Stats()
+	// time rather than bump-maintained. Engine names the storage engine;
+	// the cache/segment fields are zero on the memory engine.
+	Engine                 string
+	StoreKeys              uint64
+	CacheBytes             uint64
+	CacheHits, CacheMisses uint64
+	Spills, Faults         uint64
+	Segments               uint64
+	WALAppends             uint64
+	Checkpoints            uint64
 }
 
 // Node is one replica server.
 type Node struct {
 	cfg   Config
-	store *storage.Store
+	store storage.Engine
 
 	// batcher is the per-peer coalescing queue every replica-state push
 	// goes through (see batch.go); nil only before New finishes.
@@ -287,11 +312,12 @@ func New(cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	var st *storage.Store
+	var st storage.Engine
 	if cfg.DataDir != "" {
 		var err error
 		st, err = storage.Open(cfg.Mech, storage.Options{
-			Dir: cfg.DataDir, Shards: cfg.StoreShards, Fsync: cfg.Fsync,
+			Engine: cfg.Engine, Dir: cfg.DataDir, Shards: cfg.StoreShards,
+			Fsync: cfg.Fsync, MemBudget: cfg.MemBudget,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("node %s: %w", cfg.ID, err)
@@ -321,15 +347,28 @@ func New(cfg Config) (*Node, error) {
 // ID returns the node's identity.
 func (n *Node) ID() dot.ID { return n.cfg.ID }
 
-// Store exposes the local store (read-mostly; used by experiments to
-// account metadata).
-func (n *Node) Store() *storage.Store { return n.store }
+// Store exposes the local storage engine (read-mostly; used by
+// experiments to account metadata and drive checkpoints).
+func (n *Node) Store() storage.Engine { return n.store }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters, including the storage
+// engine's.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	st := n.stats
+	n.mu.Unlock()
+	es := n.store.Stats()
+	st.Engine = es.Engine
+	st.StoreKeys = uint64(es.Keys)
+	st.CacheBytes = uint64(es.CacheBytes)
+	st.CacheHits = es.CacheHits
+	st.CacheMisses = es.CacheMisses
+	st.Spills = es.Spills
+	st.Faults = es.Faults
+	st.Segments = uint64(es.Segments)
+	st.WALAppends = es.WALAppends
+	st.Checkpoints = es.Checkpoints
+	return st
 }
 
 func (n *Node) bump(f func(*Stats)) {
@@ -931,6 +970,10 @@ func (n *Node) handleStats() transport.Response {
 	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped, st.ReplBatches, st.BatchedKeys, st.AERepairFailures} {
 		w.Uvarint(v)
 	}
+	w.String(st.Engine)
+	for _, v := range []uint64{st.StoreKeys, st.CacheBytes, st.CacheHits, st.CacheMisses, st.Spills, st.Faults, st.Segments, st.WALAppends, st.Checkpoints} {
+		w.Uvarint(v)
+	}
 	return transport.Response{Body: w.Bytes()}
 }
 
@@ -939,6 +982,10 @@ func DecodeStats(body []byte) (Stats, error) {
 	r := codec.NewReader(body)
 	var st Stats
 	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped, &st.ReplBatches, &st.BatchedKeys, &st.AERepairFailures} {
+		*p = r.Uvarint()
+	}
+	st.Engine = r.String()
+	for _, p := range []*uint64{&st.StoreKeys, &st.CacheBytes, &st.CacheHits, &st.CacheMisses, &st.Spills, &st.Faults, &st.Segments, &st.WALAppends, &st.Checkpoints} {
 		*p = r.Uvarint()
 	}
 	r.ExpectEOF()

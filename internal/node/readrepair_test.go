@@ -132,11 +132,11 @@ func TestReadRepairIgnoresOwnConcurrentWrites(t *testing.T) {
 
 func TestStoreShardsConfig(t *testing.T) {
 	nodes, _, _ := testCluster(t, 1, func(c *Config) { c.StoreShards = 4 })
-	if got := nodes[0].Store().ShardCount(); got != 4 {
+	if got := nodes[0].Store().(*storage.Store).ShardCount(); got != 4 {
 		t.Fatalf("ShardCount = %d, want 4", got)
 	}
 	def, _, _ := testCluster(t, 1, nil)
-	if got := def[0].Store().ShardCount(); got != storage.DefaultShards {
+	if got := def[0].Store().(*storage.Store).ShardCount(); got != storage.DefaultShards {
 		t.Fatalf("default ShardCount = %d, want %d", got, storage.DefaultShards)
 	}
 }

@@ -44,6 +44,11 @@ type CrashConfig struct {
 	CrashJitter int64
 	// StoreShards is each node's storage lock-shard count (0 = default).
 	StoreShards int
+	// Engine selects each node's storage engine ("" = memory); MemBudget
+	// bounds the tiered engine's hot cache, so a small budget forces the
+	// crash to land while most of the acked keyspace is cold on segments.
+	Engine    string
+	MemBudget int64
 }
 
 // DefaultCrashConfig is sized to finish in a few seconds under -race.
@@ -149,6 +154,8 @@ func runCrashOne(cfg CrashConfig, mech core.Mechanism) (CrashResult, error) {
 		StoreShards:     cfg.StoreShards,
 		DataRoot:        dataRoot,
 		Fsync:           cfg.Fsync,
+		Engine:          cfg.Engine,
+		MemBudget:       cfg.MemBudget,
 	})
 	if err != nil {
 		return CrashResult{}, err
@@ -426,7 +433,7 @@ func RunDurabilityOverhead(cfg DurabilityConfig) (*stats.Table, error) {
 	mech := core.NewDVV()
 	for _, md := range modes {
 		for _, writers := range []int{1, cfg.Writers} {
-			var s *storage.Store
+			var s storage.Engine
 			var dir string
 			if md.durable {
 				var err error

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 )
 
 // TestCrashNoLostAckedWrites is the E2 durability acceptance gate: kill a
@@ -47,6 +48,38 @@ func TestCrashNoLostAckedWrites(t *testing.T) {
 		if r.WALReplayed == 0 {
 			t.Fatalf("%s: restart recovered nothing (replayed=0)", r.Mechanism)
 		}
+	}
+}
+
+// TestCrashTieredEngine runs the E2 oracle against the tiered engine with
+// a budget small enough that most of the acknowledged keyspace is cold
+// (spilled to segments) when the crash lands — recovery must then stitch
+// segments + WAL back together without losing a single acked write.
+func TestCrashTieredEngine(t *testing.T) {
+	cfg := DefaultCrashConfig()
+	cfg.Engine = storage.EngineTiered
+	cfg.MemBudget = 8 << 10
+	if testing.Short() {
+		cfg.Clients, cfg.WritesPerClient = 4, 10
+		cfg.CrashJitter = 256
+	}
+	results, table, err := RunCrash(cfg, core.NewDVV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table.String())
+	r := results[0]
+	if !r.Fired {
+		t.Fatalf("the crash failpoint never fired (crash offset %d beyond the workload)", r.CrashOffset)
+	}
+	if r.AckedWrites == 0 || r.Incomplete > 0 {
+		t.Fatalf("workload did not complete: %+v", r)
+	}
+	if !r.Clean() {
+		t.Fatalf("tiered crash run not clean: %+v", r)
+	}
+	if r.WALReplayed == 0 {
+		t.Fatal("restart recovered nothing (replayed=0)")
 	}
 }
 

@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// TestTieredStorageTable runs D4 at reduced size: the in-run assertions
+// (key counts, cache ≤ budget, dataset ≥ 10x budget) are the real checks;
+// here we pin the table shape on top.
+func TestTieredStorageTable(t *testing.T) {
+	cfg := TieredConfig{
+		Keys:       4000,
+		ValueBytes: 128,
+		Gets:       4000,
+		MemBudget:  32 << 10,
+		Seed:       1,
+	}
+	table, err := RunTieredStorage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (memory, tiered)", len(table.Rows))
+	}
+	if len(table.Headers) != 11 {
+		t.Fatalf("headers = %v", table.Headers)
+	}
+	if table.Rows[0][0] != "memory" || table.Rows[1][0] != "tiered" {
+		t.Fatalf("engine column = %s, %s", table.Rows[0][0], table.Rows[1][0])
+	}
+}

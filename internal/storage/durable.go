@@ -47,12 +47,18 @@ const (
 	lockName        = "LOCK"
 )
 
-// Options parameterises a durable store.
+// Options parameterises a durable engine.
 type Options struct {
+	// Engine selects the implementation: EngineMemory (default) or
+	// EngineTiered. See Open.
+	Engine string
 	// Dir is the data directory (created if missing).
 	Dir string
 	// Shards is the lock-shard count (0 = DefaultShards).
 	Shards int
+	// MemBudget bounds the tiered engine's hot-cache bytes
+	// (0 = DefaultMemBudget; ignored by the memory engine).
+	MemBudget int64
 	// Fsync makes every WAL group-commit batch fsync before the mutation
 	// is acknowledged; off, appends are buffered writes and a crash can
 	// lose the un-synced tail (never a torn half-state: replay still
@@ -77,12 +83,12 @@ type RecoveryInfo struct {
 	TornBytes    int64 // torn-tail bytes discarded (WAL segments + snapshot)
 }
 
-// Open creates (or recovers) a durable store in dir: snapshot and WAL
-// segments are replayed through the mechanism's Sync merge, any torn WAL
-// tail is truncated, and a fresh checkpoint compacts the recovered state
-// before the store starts serving, so the directory is always left in the
-// canonical snapshot-plus-empty-log shape.
-func Open(mech core.Mechanism, o Options) (*Store, error) {
+// openStore creates (or recovers) the durable memory engine in dir:
+// snapshot and WAL segments are replayed through the mechanism's Sync
+// merge, any torn WAL tail is truncated, and a fresh checkpoint compacts
+// the recovered state before the store starts serving, so the directory is
+// always left in the canonical snapshot-plus-empty-log shape.
+func openStore(mech core.Mechanism, o Options) (*Store, error) {
 	if o.Dir == "" {
 		return nil, errors.New("storage: open: empty data dir")
 	}
@@ -96,25 +102,15 @@ func Open(mech core.Mechanism, o Options) (*Store, error) {
 	s := NewSharded(mech, shards)
 	s.dir = o.Dir
 
-	// Exclusive directory lock: two stores appending to one wal.log would
-	// interleave frames from independent file positions — mid-file damage
-	// the recovery path rightly refuses to repair. Held until Close; the
-	// kernel drops it if the process dies, so a crashed owner never
-	// wedges the directory.
-	lf, err := os.OpenFile(filepath.Join(o.Dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	lf, err := lockDir(o.Dir)
 	if err != nil {
-		return nil, fmt.Errorf("storage: open %s: %w", o.Dir, err)
-	}
-	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		lf.Close()
-		return nil, fmt.Errorf("storage: open %s: already in use by another store (flock: %w)", o.Dir, err)
+		return nil, err
 	}
 	s.lock = lf
 	defer func() {
 		// Any failed exit below must release the lock it just took.
 		if s.wal == nil {
-			syscall.Flock(int(lf.Fd()), syscall.LOCK_UN)
-			lf.Close()
+			unlockDir(lf)
 		}
 	}()
 
@@ -204,26 +200,20 @@ func Open(mech core.Mechanism, o Options) (*Store, error) {
 // applyReplay decodes one WAL record (key + state) and merges it into the
 // store without touching the WAL — replayed records are already on disk.
 func (s *Store) applyReplay(payload []byte) error {
-	r := codec.NewReader(payload)
-	key := r.String()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	st, err := s.mech.DecodeState(r)
+	key, st, err := decodeRecord(s.mech, payload)
 	if err != nil {
 		return err
-	}
-	r.ExpectEOF()
-	if r.Err() != nil {
-		return r.Err()
 	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if cur, ok := sh.data[key]; ok {
+	cur, existed := sh.data[key]
+	oldMeta := 0
+	if existed {
+		oldMeta = s.mech.MetadataBytes(cur)
 		st = s.mech.Sync(cur, st)
 	}
-	sh.data[key] = st
+	s.install(sh, key, st, existed, oldMeta)
 	return nil
 }
 
@@ -259,9 +249,7 @@ func (s *Store) FailWALAt(offset int64, onCrash func()) {
 // appends it to the log, blocking until durable. Called with the key's
 // shard lock held, *before* the state is installed — write-ahead order.
 func (s *Store) appendWAL(key string, st core.State) error {
-	w := codec.GetPooledWriter()
-	w.String(key)
-	s.mech.EncodeState(w, st)
+	w := recordPayload(s.mech, key, st)
 	err := s.wal.Append(w.Bytes())
 	codec.PutPooledWriter(w)
 	if err != nil {
@@ -348,12 +336,34 @@ func (s *Store) Close() error {
 		return nil
 	}
 	err := s.wal.Close()
-	if s.lock != nil {
-		syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
-		s.lock.Close()
-		s.lock = nil
-	}
+	unlockDir(s.lock)
+	s.lock = nil
 	return err
+}
+
+// lockDir takes the exclusive directory lock shared by both durable
+// engines: two owners appending to one log would interleave frames from
+// independent file positions — mid-file damage the recovery paths rightly
+// refuse to repair. Held until Close; the kernel drops it if the process
+// dies, so a crashed owner never wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	lf, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("storage: open %s: already in use by another store (flock: %w)", dir, err)
+	}
+	return lf, nil
+}
+
+// unlockDir releases a lockDir handle.
+func unlockDir(lf *os.File) {
+	if lf != nil {
+		syscall.Flock(int(lf.Fd()), syscall.LOCK_UN)
+		lf.Close()
+	}
 }
 
 // syncDir fsyncs a directory so a rename within it is durable.

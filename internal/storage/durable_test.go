@@ -16,7 +16,7 @@ import (
 
 func openTemp(t *testing.T, m core.Mechanism, dir string, fsync bool) *Store {
 	t.Helper()
-	s, err := Open(m, Options{Dir: dir, Fsync: fsync})
+	s, err := openStore(m, Options{Dir: dir, Fsync: fsync})
 	if err != nil {
 		t.Fatal(err)
 	}

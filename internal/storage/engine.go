@@ -1,0 +1,104 @@
+// Engine is the pluggable storage contract: the exact surface the replica
+// server (internal/node) consumes from its local store. Two engines
+// implement it —
+//
+//	memory  (*Store)  — the sharded in-memory map, optionally durable
+//	                    behind a WAL + atomic snapshots (Open, durable.go)
+//	tiered  (*Tiered) — a memory-bounded cache over immutable on-disk
+//	                    segments with incremental checkpoints (tiered.go)
+//
+// — so the node, cluster, sim and CLI layers select an engine by name
+// without knowing its representation, and the conformance suite runs the
+// same contract tests over both.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Engine names accepted by Options.Engine and the -engine CLI flags.
+const (
+	EngineMemory = "memory"
+	EngineTiered = "tiered"
+)
+
+// DefaultMemBudget is the tiered engine's hot-cache byte budget when
+// Options.MemBudget is zero.
+const DefaultMemBudget = 64 << 20 // 64 MiB
+
+// Engine is a replica's local multi-version store. All methods are safe
+// for concurrent use. The mutation methods follow the write-ahead
+// discipline on durable engines: returning nil means the mutation is
+// durable, and a failed append leaves memory untouched.
+type Engine interface {
+	// Name identifies the engine kind (EngineMemory or EngineTiered).
+	Name() string
+	// Mechanism returns the causality mechanism states belong to.
+	Mechanism() core.Mechanism
+
+	// Get returns the sibling values and causal context for key.
+	Get(key string) (core.ReadResult, bool)
+	// Put applies a client write and returns the post-write read result.
+	Put(key string, ctx core.Context, value []byte, w core.WriteInfo) (core.ReadResult, error)
+	// SyncKey merges a remote state for key into the local one.
+	SyncKey(key string, remote core.State) error
+	// Snapshot returns an independent deep copy of key's state.
+	Snapshot(key string) (core.State, bool)
+
+	// Keys returns all keys, sorted.
+	Keys() []string
+	// Len returns the number of keys (O(1): engines keep counters).
+	Len() int
+	// MetadataBytes returns the encoded causal-metadata size for key.
+	MetadataBytes(key string) int
+	// TotalMetadataBytes sums metadata across all keys (O(1) counters).
+	TotalMetadataBytes() int
+	// Siblings returns the sibling count for key.
+	Siblings(key string) int
+	// KeyHash returns the divergence-detection hash of key's state.
+	KeyHash(key string) uint64
+	// EncodeKey appends key's state to w; reports whether the key existed.
+	EncodeKey(key string, w *codec.Writer) bool
+
+	// Stats returns a snapshot of the engine's counters.
+	Stats() Stats
+
+	// Durable reports whether the engine persists mutations.
+	Durable() bool
+	// Dir returns the data directory ("" for in-memory engines).
+	Dir() string
+	// Recovery returns what opening found on disk.
+	Recovery() RecoveryInfo
+	// WALSize returns the write-ahead log's logical offset in bytes.
+	WALSize() int64
+	// FailWALAt arms the WAL crash failpoint (experiments only).
+	FailWALAt(offset int64, onCrash func())
+	// Checkpoint compacts the log so recovery replays little or nothing.
+	Checkpoint() error
+	// Close flushes and closes the engine.
+	Close() error
+}
+
+// Interface conformance.
+var (
+	_ Engine = (*Store)(nil)
+	_ Engine = (*Tiered)(nil)
+)
+
+// Open creates (or recovers) a durable engine in o.Dir. The engine kind is
+// selected by o.Engine (empty means EngineMemory, the map engine behind a
+// WAL and atomic snapshots; EngineTiered is the memory-bounded cache over
+// spill segments).
+func Open(mech core.Mechanism, o Options) (Engine, error) {
+	switch o.Engine {
+	case "", EngineMemory:
+		return openStore(mech, o)
+	case EngineTiered:
+		return openTiered(mech, o)
+	default:
+		return nil, fmt.Errorf("storage: unknown engine %q (want %s or %s)", o.Engine, EngineMemory, EngineTiered)
+	}
+}

@@ -1,0 +1,458 @@
+package storage
+
+// Engine-conformance suite: every contract test here runs over both
+// engines (memory behind its WAL, tiered with a deliberately tiny cache
+// budget so spill/fault paths are always exercised), so the two
+// implementations can never drift apart on the surface the node consumes.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// tinyBudget forces the tiered engine to spill almost everything: with
+// ~100-byte records and 64 shards this keeps at most a few states hot per
+// shard.
+const tinyBudget = 16 << 10
+
+// forEachEngine runs fn once per engine kind with a fresh durable engine
+// in its own directory.
+func forEachEngine(t *testing.T, fn func(t *testing.T, kind string, open func(t *testing.T, dir string) Engine)) {
+	t.Helper()
+	for _, kind := range []string{EngineMemory, EngineTiered} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			fn(t, kind, func(t *testing.T, dir string) Engine {
+				t.Helper()
+				e, err := Open(core.NewDVV(), Options{
+					Engine: kind, Dir: dir, Fsync: false, MemBudget: tinyBudget,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			})
+		})
+	}
+}
+
+func putKeys(t *testing.T, e Engine, n int) {
+	t.Helper()
+	m := e.Mechanism()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		if _, err := e.Put(key, m.EmptyContext(), []byte(fmt.Sprintf("val-%04d", i)),
+			core.WriteInfo{Server: "S1", Client: "c1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEngineOpenSelectsKind(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind string, open func(*testing.T, string) Engine) {
+		e := open(t, t.TempDir())
+		defer e.Close()
+		if e.Name() != kind {
+			t.Fatalf("Name() = %q, want %q", e.Name(), kind)
+		}
+		if !e.Durable() {
+			t.Fatal("engine opened with a dir must be durable")
+		}
+	})
+}
+
+func TestEngineOpenRejectsUnknown(t *testing.T) {
+	if _, err := Open(core.NewDVV(), Options{Engine: "bogus", Dir: t.TempDir()}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := Open(core.NewDVV(), Options{Engine: EngineTiered}); err == nil {
+		t.Fatal("tiered engine without a dir accepted")
+	}
+}
+
+// TestEngineConformanceBasics: reads, listings and the O(1) counters agree
+// with per-key ground truth on both engines.
+func TestEngineConformanceBasics(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind string, open func(*testing.T, string) Engine) {
+		e := open(t, t.TempDir())
+		defer e.Close()
+		m := e.Mechanism()
+		const n = 300
+		putKeys(t, e, n)
+
+		if e.Len() != n {
+			t.Fatalf("Len = %d, want %d", e.Len(), n)
+		}
+		keys := e.Keys()
+		if len(keys) != n {
+			t.Fatalf("Keys() returned %d keys, want %d", len(keys), n)
+		}
+		total := 0
+		for i, k := range keys {
+			if want := fmt.Sprintf("key-%04d", i); k != want {
+				t.Fatalf("Keys()[%d] = %q, want %q (sorted)", i, k, want)
+			}
+			rr, ok := e.Get(k)
+			if !ok || len(rr.Values) != 1 || string(rr.Values[0]) != fmt.Sprintf("val-%04d", i) {
+				t.Fatalf("Get(%s) = %v, %v", k, rr.Values, ok)
+			}
+			if e.Siblings(k) != 1 {
+				t.Fatalf("Siblings(%s) = %d, want 1", k, e.Siblings(k))
+			}
+			mb := e.MetadataBytes(k)
+			if mb <= 0 {
+				t.Fatalf("MetadataBytes(%s) = %d", k, mb)
+			}
+			total += mb
+			// KeyHash must equal the hash of the snapshot's canonical
+			// encoding — on tiered this crosses the cold raw-bytes path.
+			st, ok := e.Snapshot(k)
+			if !ok {
+				t.Fatalf("Snapshot(%s) missing", k)
+			}
+			if e.KeyHash(k) != HashState(m, st) {
+				t.Fatalf("KeyHash(%s) disagrees with snapshot hash", k)
+			}
+			w := codec.NewWriter(64)
+			if !e.EncodeKey(k, w) {
+				t.Fatalf("EncodeKey(%s) = false", k)
+			}
+			if HashEncoded(w.Bytes()) != e.KeyHash(k) {
+				t.Fatalf("EncodeKey(%s) bytes disagree with KeyHash", k)
+			}
+		}
+		if e.TotalMetadataBytes() != total {
+			t.Fatalf("TotalMetadataBytes = %d, want %d (sum of per-key)", e.TotalMetadataBytes(), total)
+		}
+		if _, ok := e.Get("missing"); ok {
+			t.Fatal("Get(missing) = true")
+		}
+		if e.KeyHash("missing") != 0 || e.Siblings("missing") != 0 || e.MetadataBytes("missing") != 0 {
+			t.Fatal("missing key must report zeroes")
+		}
+	})
+}
+
+// TestEngineConformanceHashesMatchAcrossEngines: the same workload yields
+// byte-identical canonical encodings on both engines — the property
+// anti-entropy between a memory node and a tiered node depends on.
+func TestEngineConformanceHashesMatchAcrossEngines(t *testing.T) {
+	hashes := map[string][]uint64{}
+	forEachEngine(t, func(t *testing.T, kind string, open func(*testing.T, string) Engine) {
+		e := open(t, t.TempDir())
+		defer e.Close()
+		putKeys(t, e, 200)
+		for _, k := range e.Keys() {
+			hashes[k] = append(hashes[k], e.KeyHash(k))
+		}
+	})
+	for k, hs := range hashes {
+		if len(hs) != 2 || hs[0] != hs[1] {
+			t.Fatalf("key %s hashes differ across engines: %v", k, hs)
+		}
+	}
+}
+
+// TestEngineConformanceSyncKey: merge semantics, the empty-into-absent
+// no-op and the no-op-merge WAL skip hold on both engines.
+func TestEngineConformanceSyncKey(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind string, open func(*testing.T, string) Engine) {
+		e := open(t, t.TempDir())
+		defer e.Close()
+		m := e.Mechanism()
+
+		// Remote state to merge: build it in a scratch in-memory store.
+		scratch := New(m)
+		if _, err := scratch.Put("k", m.EmptyContext(), []byte("remote"), core.WriteInfo{Server: "S2", Client: "c9"}); err != nil {
+			t.Fatal(err)
+		}
+		remote, _ := scratch.Snapshot("k")
+
+		if _, err := e.Put("k", m.EmptyContext(), []byte("local"), core.WriteInfo{Server: "S1", Client: "c1"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SyncKey("k", remote); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Siblings("k"); got != 2 {
+			t.Fatalf("Siblings after concurrent merge = %d, want 2", got)
+		}
+
+		// Re-merging the same state must be a no-op that does not grow the
+		// WAL (converged anti-entropy rounds must not churn the log).
+		before := e.WALSize()
+		if err := e.SyncKey("k", remote); err != nil {
+			t.Fatal(err)
+		}
+		if e.WALSize() != before {
+			t.Fatalf("no-op merge grew the WAL by %d bytes", e.WALSize()-before)
+		}
+
+		// Empty state merged into an absent key must not create it.
+		if err := e.SyncKey("ghost", m.NewState()); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := e.Get("ghost"); ok || e.Len() != 1 {
+			t.Fatalf("empty merge created a key (len=%d)", e.Len())
+		}
+	})
+}
+
+// TestEngineConformanceReopen: everything written before Close is intact
+// after reopen, with identical canonical encodings.
+func TestEngineConformanceReopen(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind string, open func(*testing.T, string) Engine) {
+		dir := t.TempDir()
+		e := open(t, dir)
+		const n = 400
+		putKeys(t, e, n)
+		want := map[string]uint64{}
+		for _, k := range e.Keys() {
+			want[k] = e.KeyHash(k)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		r := open(t, dir)
+		defer r.Close()
+		if r.Len() != n {
+			t.Fatalf("recovered Len = %d, want %d", r.Len(), n)
+		}
+		rec := r.Recovery()
+		if rec.SnapshotKeys+rec.WALRecords == 0 {
+			t.Fatal("recovery reports nothing replayed or loaded")
+		}
+		total := 0
+		for k, h := range want {
+			if r.KeyHash(k) != h {
+				t.Fatalf("key %s changed across reopen", k)
+			}
+			total += r.MetadataBytes(k)
+		}
+		if r.TotalMetadataBytes() != total {
+			t.Fatalf("recovered TotalMetadataBytes = %d, want %d", r.TotalMetadataBytes(), total)
+		}
+	})
+}
+
+// TestEngineConformanceCrashFailpoint is the store-level E2 core on both
+// engines: acked writes survive a WAL tear, the torn write is neither
+// acked nor visible, and recovery truncates the tail.
+func TestEngineConformanceCrashFailpoint(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind string, open func(*testing.T, string) Engine) {
+		dir := t.TempDir()
+		e := open(t, dir)
+		m := e.Mechanism()
+		var acked []string
+		i := 0
+		put := func() error {
+			k := fmt.Sprintf("key-%03d", i)
+			_, err := e.Put(k, m.EmptyContext(), []byte("v"), core.WriteInfo{Server: "S1", Client: "c1"})
+			if err == nil {
+				acked = append(acked, k)
+			}
+			i++
+			return err
+		}
+		for j := 0; j < 50; j++ {
+			if err := put(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		crashed := make(chan struct{})
+		e.FailWALAt(e.WALSize()+13, func() { close(crashed) })
+		if err := put(); !errors.Is(err, ErrWALCrashed) {
+			t.Fatalf("put across failpoint = %v, want ErrWALCrashed", err)
+		}
+		<-crashed
+		if _, ok := e.Get(fmt.Sprintf("key-%03d", i-1)); ok {
+			t.Fatal("unacked torn write visible in memory")
+		}
+		if err := e.Checkpoint(); err == nil {
+			t.Fatal("checkpoint succeeded on a crashed engine")
+		}
+		e.Close()
+
+		r := open(t, dir)
+		defer r.Close()
+		if r.Recovery().TornBytes == 0 {
+			t.Fatal("expected torn bytes at the crash point")
+		}
+		for _, k := range acked {
+			if _, ok := r.Get(k); !ok {
+				t.Fatalf("acked key %s lost", k)
+			}
+		}
+		if r.Len() != len(acked) {
+			t.Fatalf("recovered %d keys, want %d", r.Len(), len(acked))
+		}
+	})
+}
+
+// TestEngineConformanceConcurrentCheckpoint is the -race stress: writers,
+// readers and mergers run against a checkpoint loop, then a reopen proves
+// nothing acked was lost.
+func TestEngineConformanceConcurrentCheckpoint(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, kind string, open func(*testing.T, string) Engine) {
+		dir := t.TempDir()
+		e := open(t, dir)
+		m := e.Mechanism()
+		const writers, puts = 4, 40
+		errs := make(chan error, writers+1)
+		var wg sync.WaitGroup
+		for g := 0; g < writers; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < puts; i++ {
+					key := fmt.Sprintf("w%d-key-%03d", g, i)
+					if _, err := e.Put(key, m.EmptyContext(), []byte("payload"),
+						core.WriteInfo{Server: "S1", Client: "c1"}); err != nil {
+						errs <- err
+						return
+					}
+					e.Get(key)
+					e.KeyHash(key)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if err := e.Checkpoint(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+		if e.Len() != writers*puts {
+			t.Fatalf("Len = %d, want %d", e.Len(), writers*puts)
+		}
+		e.Close()
+
+		r := open(t, dir)
+		defer r.Close()
+		if r.Len() != writers*puts {
+			t.Fatalf("recovered Len = %d, want %d", r.Len(), writers*puts)
+		}
+	})
+}
+
+// TestTieredEvictionBounds: the hot set stays within the byte budget while
+// the engine holds far more data, and the spill/fault counters move.
+func TestTieredEvictionBounds(t *testing.T) {
+	e, err := Open(core.NewDVV(), Options{
+		Engine: EngineTiered, Dir: t.TempDir(), MemBudget: tinyBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const n = 2000
+	putKeys(t, e, n)
+	st := e.Stats()
+	if st.CacheBytes > tinyBudget {
+		t.Fatalf("cache %d bytes exceeds %d budget", st.CacheBytes, tinyBudget)
+	}
+	if st.Keys != n {
+		t.Fatalf("keys = %d, want %d", st.Keys, n)
+	}
+	if st.Spills == 0 {
+		t.Fatal("no spills despite budget pressure")
+	}
+	if st.Segments == 0 {
+		t.Fatal("no segments created")
+	}
+	// Read everything back: cold keys fault in, values intact, and the
+	// cache stays bounded throughout.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		rr, ok := e.Get(k)
+		if !ok || len(rr.Values) != 1 || string(rr.Values[0]) != fmt.Sprintf("val-%04d", i) {
+			t.Fatalf("Get(%s) after eviction = %v, %v", k, rr.Values, ok)
+		}
+	}
+	st = e.Stats()
+	if st.Faults == 0 {
+		t.Fatal("full read-back faulted nothing despite tiny budget")
+	}
+	if st.CacheBytes > tinyBudget {
+		t.Fatalf("cache %d bytes exceeds %d budget after read-back", st.CacheBytes, tinyBudget)
+	}
+	if st.CacheHits+st.CacheMisses == 0 {
+		t.Fatal("hit/miss counters never moved")
+	}
+}
+
+// TestTieredColdPathsMatchHot: every read-only accessor returns the same
+// answer for a cold key as for the same key once hot.
+func TestTieredColdPathsMatchHot(t *testing.T) {
+	e, err := Open(core.NewDVV(), Options{
+		Engine: EngineTiered, Dir: t.TempDir(), MemBudget: 1, // evict everything
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	putKeys(t, e, 50)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		coldHash := e.KeyHash(k)
+		coldSib := e.Siblings(k)
+		coldMeta := e.MetadataBytes(k)
+		w := codec.NewWriter(64)
+		e.EncodeKey(k, w)
+		coldBytes := append([]byte(nil), w.Bytes()...)
+
+		e.Get(k) // fault it hot (budget 1 byte still keeps the touched key)
+		if e.KeyHash(k) != coldHash {
+			t.Fatalf("KeyHash(%s) cold != hot", k)
+		}
+		if e.Siblings(k) != coldSib || e.MetadataBytes(k) != coldMeta {
+			t.Fatalf("Siblings/MetadataBytes(%s) cold != hot", k)
+		}
+		w2 := codec.NewWriter(64)
+		e.EncodeKey(k, w2)
+		if string(coldBytes) != string(w2.Bytes()) {
+			t.Fatalf("EncodeKey(%s) cold != hot", k)
+		}
+	}
+}
+
+// TestTieredStatsEngineFields pins the Stats surface both CLIs print.
+func TestTieredStatsEngineFields(t *testing.T) {
+	e, err := Open(core.NewDVV(), Options{Engine: EngineTiered, Dir: t.TempDir(), MemBudget: tinyBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	putKeys(t, e, 100)
+	st := e.Stats()
+	if st.Engine != EngineTiered {
+		t.Fatalf("Stats.Engine = %q", st.Engine)
+	}
+	if st.Puts != 100 || st.Keys != 100 {
+		t.Fatalf("Puts=%d Keys=%d", st.Puts, st.Keys)
+	}
+	mem, err := Open(core.NewDVV(), Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if got := mem.Stats().Engine; got != EngineMemory {
+		t.Fatalf("memory Stats.Engine = %q", got)
+	}
+}

@@ -1,0 +1,53 @@
+// The one on-disk record format shared by every persistence surface in
+// this package: a WAL record, a snapshot record and a segment record are
+// all the same codec framing —
+//
+//	[string key][mechanism state encoding]
+//
+// wrapped in whatever outer frame the carrier uses (the WAL's and the
+// segments' [len][crc] frame, the snapshot's [len] frame). One encoder and
+// one decoder mean a record written by any engine path replays through any
+// recovery path, and the no-op-merge byte compare in SyncKey, the
+// snapshot writer and the tiered engine's spill path can never drift into
+// incompatible encodings.
+package storage
+
+import (
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// encodeRecord appends the canonical (key, state) record payload to w.
+func encodeRecord(m core.Mechanism, w *codec.Writer, key string, st core.State) {
+	w.String(key)
+	m.EncodeState(w, st)
+}
+
+// decodeRecord parses a payload built by encodeRecord, rejecting trailing
+// garbage. The key is returned even when the state fails to decode, so
+// callers can name the damaged key in errors.
+func decodeRecord(m core.Mechanism, payload []byte) (string, core.State, error) {
+	r := codec.NewReader(payload)
+	key := r.String()
+	if r.Err() != nil {
+		return "", nil, r.Err()
+	}
+	st, err := m.DecodeState(r)
+	if err != nil {
+		return key, nil, err
+	}
+	r.ExpectEOF()
+	if r.Err() != nil {
+		return key, nil, r.Err()
+	}
+	return key, st, nil
+}
+
+// recordPayload encodes (key, state) into a pooled writer and returns the
+// writer; the caller must codec.PutPooledWriter it when the bytes are no
+// longer needed.
+func recordPayload(m core.Mechanism, key string, st core.State) *codec.Writer {
+	w := codec.GetPooledWriter()
+	encodeRecord(m, w, key, st)
+	return w
+}

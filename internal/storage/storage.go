@@ -54,6 +54,13 @@ type Store struct {
 	// operation counters; atomics so reads never touch the shard locks.
 	puts, gets, syncs atomic.Uint64
 
+	// keyCount and metaBytes are maintained at every install site (Put,
+	// SyncKey, applyReplay, Load), so Len and TotalMetadataBytes are O(1)
+	// reads instead of all-shard walks — every stats RPC and anti-entropy
+	// tick used to pay an O(shards·keys) scan for them.
+	keyCount  atomic.Int64
+	metaBytes atomic.Int64
+
 	// durability (nil wal = in-memory store); see durable.go.
 	wal         *WAL
 	dir         string
@@ -89,6 +96,9 @@ func NewSharded(mech core.Mechanism, shards int) *Store {
 	}
 	return s
 }
+
+// Name identifies the engine kind.
+func (s *Store) Name() string { return EngineMemory }
 
 // Mechanism returns the store's causality mechanism.
 func (s *Store) Mechanism() core.Mechanism { return s.mech }
@@ -140,8 +150,11 @@ func (s *Store) Put(key string, ctx core.Context, value []byte, w core.WriteInfo
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	st, ok := sh.data[key]
+	oldMeta := 0
 	if !ok {
 		st = s.mech.NewState()
+	} else {
+		oldMeta = s.mech.MetadataBytes(st)
 	}
 	ns, err := s.mech.Put(st, ctx, value, w)
 	if err != nil {
@@ -152,9 +165,20 @@ func (s *Store) Put(key string, ctx core.Context, value []byte, w core.WriteInfo
 			return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
 		}
 	}
-	sh.data[key] = ns
+	s.install(sh, key, ns, ok, oldMeta)
 	s.puts.Add(1)
 	return s.mech.Read(ns), nil
+}
+
+// install writes st into the shard map and keeps the O(1) key and
+// metadata counters in step. Called with the shard lock held; existed and
+// oldMeta describe the entry being replaced.
+func (s *Store) install(sh *shard, key string, st core.State, existed bool, oldMeta int) {
+	sh.data[key] = st
+	if !existed {
+		s.keyCount.Add(1)
+	}
+	s.metaBytes.Add(int64(s.mech.MetadataBytes(st) - oldMeta))
 }
 
 // SyncKey merges a remote state for key into the local one (replication
@@ -168,8 +192,11 @@ func (s *Store) SyncKey(key string, remote core.State) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	st, ok := sh.data[key]
+	oldMeta := 0
 	if !ok {
 		st = s.mech.NewState()
+	} else {
+		oldMeta = s.mech.MetadataBytes(st)
 	}
 	merged := s.mech.Sync(st, remote)
 	// Merging emptiness into an absent key must stay a no-op in every
@@ -180,10 +207,11 @@ func (s *Store) SyncKey(key string, remote core.State) error {
 		return nil
 	}
 	if s.wal != nil {
-		// Frame the WAL record (key + merged state) once; the merged
-		// state's encoding within it doubles as the no-op check against
-		// the old state's encoding — an exact compare, not a hash: a
-		// collision here would silently drop a durable write.
+		// Frame the WAL record (the canonical key+state payload of
+		// record.go, laid out inline so the state's start is known); the
+		// merged state's encoding within it doubles as the no-op check
+		// against the old state's encoding — an exact compare, not a
+		// hash: a collision here would silently drop a durable write.
 		w := codec.GetPooledWriter()
 		w.String(key)
 		mark := w.Len()
@@ -206,7 +234,7 @@ func (s *Store) SyncKey(key string, remote core.State) error {
 		}
 		s.walAppends.Add(1)
 	}
-	sh.data[key] = merged
+	s.install(sh, key, merged, ok, oldMeta)
 	s.syncs.Add(1)
 	return nil
 }
@@ -254,16 +282,11 @@ func (s *Store) Keys() []string {
 	return out
 }
 
-// Len returns the number of keys.
+// Len returns the number of keys. O(1): the counter is maintained at
+// every install site, so stats RPCs and anti-entropy ticks never walk the
+// shards.
 func (s *Store) Len() int {
-	total := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		total += len(sh.data)
-		sh.mu.RUnlock()
-	}
-	return total
+	return int(s.keyCount.Load())
 }
 
 // MetadataBytes returns the encoded causal metadata size for key (0 if
@@ -279,18 +302,11 @@ func (s *Store) MetadataBytes(key string) int {
 	return s.mech.MetadataBytes(st)
 }
 
-// TotalMetadataBytes sums metadata across all keys, one shard at a time.
+// TotalMetadataBytes sums encoded causal-metadata size across all keys.
+// O(1): install sites apply MetadataBytes deltas to a counter (arithmetic
+// since PR 2), replacing the O(shards·keys) walk every stats RPC paid.
 func (s *Store) TotalMetadataBytes() int {
-	total := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for _, st := range sh.data {
-			total += s.mech.MetadataBytes(st)
-		}
-		sh.mu.RUnlock()
-	}
-	return total
+	return int(s.metaBytes.Load())
 }
 
 // Siblings returns the sibling count for key (0 if missing).
@@ -361,8 +377,9 @@ func (s *Store) EncodeKey(key string, w *codec.Writer) bool {
 }
 
 // Stats reports operation counters. The WAL fields are zero for in-memory
-// stores.
+// stores; the cache/segment fields are zero for the memory engine.
 type Stats struct {
+	Engine            string
 	Puts, Gets, Syncs uint64
 	Keys              int
 
@@ -371,11 +388,22 @@ type Stats struct {
 	// concurrency); Checkpoints counts completed snapshot+truncate cycles.
 	WALAppends, WALSyncs uint64
 	Checkpoints          uint64
+
+	// Tiered-engine counters. CacheBytes is the resident hot-set size
+	// (bounded by the memory budget); CacheHits/CacheMisses classify reads
+	// by whether the state was hot; Spills counts dirty evictions written
+	// to segments; Faults counts cold states read back from segments;
+	// Segments is the number of on-disk segment files.
+	CacheBytes             int64
+	CacheHits, CacheMisses uint64
+	Spills, Faults         uint64
+	Segments               int
 }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
+		Engine:      EngineMemory,
 		Puts:        s.puts.Load(),
 		Gets:        s.gets.Load(),
 		Syncs:       s.syncs.Load(),
@@ -442,18 +470,19 @@ func (s *Store) Load(r io.Reader) (torn int64, err error) {
 			}
 			return 0, fmt.Errorf("storage: load: %w", err)
 		}
-		cr := codec.NewReader(frame)
-		key := cr.String()
-		st, err := s.mech.DecodeState(cr)
-		if err != nil {
-			return 0, fmt.Errorf("storage: load key %q: %w (%w)", key, err, ErrCorruptRecord)
-		}
-		cr.ExpectEOF()
-		if cr.Err() != nil {
-			return 0, fmt.Errorf("storage: load key %q: %w (%w)", key, cr.Err(), ErrCorruptRecord)
+		key, st, derr := decodeRecord(s.mech, frame)
+		if derr != nil {
+			return 0, fmt.Errorf("storage: load key %q: %w (%w)", key, derr, ErrCorruptRecord)
 		}
 		fresh[fnv64a(key)&s.mask][key] = st
 		good += 4 + int64(len(frame))
+	}
+	var keys, meta int64
+	for _, m := range fresh {
+		keys += int64(len(m))
+		for _, st := range m {
+			meta += int64(s.mech.MetadataBytes(st))
+		}
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -461,5 +490,7 @@ func (s *Store) Load(r io.Reader) (torn int64, err error) {
 		sh.data = fresh[i]
 		sh.mu.Unlock()
 	}
+	s.keyCount.Store(keys)
+	s.metaBytes.Store(meta)
 	return torn, nil
 }

@@ -101,7 +101,7 @@ func BenchmarkStorePut(b *testing.B) {
 			if !mode.durable {
 				return New(mech)
 			}
-			s, err := Open(mech, Options{Dir: b.TempDir(), Fsync: mode.sync})
+			s, err := openStore(mech, Options{Dir: b.TempDir(), Fsync: mode.sync})
 			if err != nil {
 				b.Fatal(err)
 			}
