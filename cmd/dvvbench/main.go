@@ -14,8 +14,10 @@
 //	dvvbench -experiment ablation       # A1: DVV vs DVVSet
 //	dvvbench -experiment churn          # E1: elastic membership under writes
 //	dvvbench -experiment saturate       # E3: transport saturation (lockstep vs mux over real TCP)
+//	dvvbench -experiment nemesis        # E4: partition convergence under a fault-injecting nemesis
 //	dvvbench -experiment tiered         # D4: bounded-memory tiered engine vs all-memory
 //	dvvbench -churn                     # shorthand for -experiment churn
+//	dvvbench -experiment nemesis -seed 7  # any experiment, reproducible fault/workload schedule
 //	dvvbench -experiment riak -csv      # CSV instead of aligned text
 //	dvvbench -json > BENCH_N.json       # machine-readable snapshot of all tables
 package main
@@ -41,11 +43,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|tiered|all")
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|nemesis|tiered|all")
 		churn      = fs.Bool("churn", false, "shorthand for -experiment churn (elastic membership scenario)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
-		seed       = fs.Int64("seed", 42, "experiment seed")
+		seed       = fs.Int64("seed", 42, "seed for every randomised experiment (fig1, verdict and compare are deterministic replays)")
 		ops        = fs.Int("ops", 0, "override operation count (riak)")
 		clients    = fs.Int("clients", 0, "override client count (riak)")
 		nodes      = fs.Int("nodes", 0, "override node count (riak)")
@@ -190,9 +192,24 @@ func run(args []string) error {
 				return err
 			}
 			emit(table)
+		case "nemesis":
+			cfg := sim.DefaultNemesisConfig()
+			cfg.Seed = *seed
+			if *nodes > 0 {
+				cfg.Nodes = *nodes
+			}
+			if *shards > 0 {
+				cfg.StoreShards = *shards
+			}
+			_, table, err := sim.RunNemesis(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
 		case "ablation":
-			emit(sim.RunDVVSetAblation(sim.DefaultAblationConfig()),
-				sim.RunAblationTrace(sim.DefaultAblationConfig()))
+			acfg := sim.DefaultAblationConfig()
+			acfg.Seed = *seed
+			emit(sim.RunDVVSetAblation(acfg), sim.RunAblationTrace(acfg))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -216,7 +233,7 @@ func run(args []string) error {
 		*experiment = "churn"
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate"} {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate", "nemesis"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -378,6 +378,18 @@ func containsNode(nodes []*node.Node, id dot.ID) bool {
 // Mechanism returns the cluster's causality mechanism.
 func (c *Cluster) Mechanism() core.Mechanism { return c.mech }
 
+// NodeByID returns the running node with the given id, or nil.
+func (c *Cluster) NodeByID(id dot.ID) *node.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.Nodes {
+		if n.ID() == id {
+			return n
+		}
+	}
+	return nil
+}
+
 // Close stops all nodes (and the transport if the cluster created it).
 func (c *Cluster) Close() error {
 	var first error
@@ -442,6 +454,15 @@ const (
 	// load balancer); the receiving node forwards if it does not own the
 	// key, exercising the forwarding path.
 	RouteRandom
+	// RouteOwner sends to a uniformly random member of the key's
+	// preference list. Owners coordinate locally (no forwarding hop), so
+	// under a partition the same key is coordinated from whichever side
+	// the dice land on — the split-brain shape the nemesis experiments
+	// need — while every client request stays a single idempotent-on-
+	// retry RPC (a forwarded put re-executes with the same causal
+	// context if the network duplicates it, minting a sibling the client
+	// never learns about).
+	RouteOwner
 )
 
 // Client is a session-holding store client. Not safe for concurrent use;
@@ -486,6 +507,12 @@ func (cl *Client) target(key string) (dot.ID, error) {
 			return "", errors.New("cluster: no members")
 		}
 		return members[cl.rng.Intn(len(members))], nil
+	case RouteOwner:
+		pref := cl.cluster.Ring.Preference(key, cl.cluster.cfg.N)
+		if len(pref) == 0 {
+			return "", errors.New("cluster: no members")
+		}
+		return pref[cl.rng.Intn(len(pref))], nil
 	default:
 		id, ok := cl.cluster.Ring.Coordinator(key)
 		if !ok {

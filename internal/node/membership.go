@@ -264,8 +264,9 @@ func (n *Node) handleJoin(body []byte) transport.Response {
 		delete(n.departed, id)
 		// A direct announcement means the node is alive right now; stale
 		// suspicion from before its departure must not make coordinators
-		// skip it.
+		// skip it, nor a stale redelivery backoff delay its hints.
 		delete(n.suspect, id)
+		delete(n.hintRetry, id)
 	}
 	n.mu.Unlock()
 	if ab, ok := n.cfg.Transport.(transport.AddrBook); ok && addr != "" {
@@ -338,6 +339,7 @@ func (n *Node) handleLeave(body []byte) transport.Response {
 	n.mu.Lock()
 	n.departed[id] = struct{}{}
 	delete(n.suspect, id)
+	delete(n.hintRetry, id) // same leak: no future round could ever clear it
 	hasHints := len(n.hints[id]) > 0
 	n.mu.Unlock()
 	n.cfg.Ring.Remove(id)
@@ -412,17 +414,40 @@ func (n *Node) Leave(ctx context.Context) error {
 // WaitHintsDrained delivers hints in rounds until none are pending or the
 // context expires — the post-churn convergence helper the elasticity
 // walkthrough and the churn experiment use to prove handoff completes.
+//
+// Rounds that make no progress back off exponentially (with jitter, up
+// to waitHintsMaxSleep) instead of spinning every 5ms: through a long
+// partition this loop used to be a busy-wait, hammering the dead peer
+// with a redelivery round per tick. Progress resets the backoff, so a
+// healed peer drains at full speed.
 func (n *Node) WaitHintsDrained(ctx context.Context) error {
+	const (
+		waitHintsBaseSleep = 5 * time.Millisecond
+		waitHintsMaxSleep  = 250 * time.Millisecond
+	)
+	streak := 0
+	last := -1
 	for n.PendingHints() > 0 {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("node: %d hints still pending: %w", n.PendingHints(), err)
 		}
 		n.DeliverHints(ctx)
-		if n.PendingHints() > 0 {
-			select {
-			case <-ctx.Done():
-			case <-time.After(5 * time.Millisecond):
-			}
+		pending := n.PendingHints()
+		if pending == 0 {
+			break
+		}
+		if last < 0 || pending < last {
+			streak = 0
+		} else {
+			streak++
+		}
+		last = pending
+		n.mu.Lock()
+		sleep := n.backoffFor(streak+1, waitHintsBaseSleep, waitHintsMaxSleep)
+		n.mu.Unlock()
+		select {
+		case <-ctx.Done():
+		case <-time.After(sleep):
 		}
 	}
 	return nil

@@ -236,6 +236,13 @@ type Stats struct {
 	// skipped, not fatal: the sweep continues and a later round retries
 	// them.
 	AERepairFailures uint64
+	// HintAttempts counts per-peer redelivery rounds DeliverHints
+	// actually attempted; HintSkips counts rounds suppressed because the
+	// peer's redelivery backoff window was still open. Under a held
+	// partition Skips should dwarf Attempts — the proof the redelivery
+	// path does not busy-spin through an outage.
+	HintAttempts uint64
+	HintSkips    uint64
 
 	// Engine-level store counters, filled from storage.Stats at Stats()
 	// time rather than bump-maintained. Engine names the storage engine;
@@ -272,6 +279,10 @@ type Node struct {
 	// suspect maps peers to the end of their failure-suspicion window
 	// (set on failed sends, cleared on any successful exchange).
 	suspect map[dot.ID]time.Time
+	// hintRetry tracks per-peer hint-redelivery failure streaks so a
+	// peer that stays unreachable is retried with capped exponential
+	// backoff + jitter instead of on every AE tick (see DeliverHints).
+	hintRetry map[dot.ID]*retryState
 	// departed tombstones members seen leaving, so passive membership
 	// gossip (SyncMembership) cannot resurrect them; an explicit re-join
 	// announcement clears the tombstone.
@@ -332,6 +343,7 @@ func New(cfg Config) (*Node, error) {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		hints:     make(map[dot.ID]map[string]core.State),
 		suspect:   make(map[dot.ID]time.Time),
+		hintRetry: make(map[dot.ID]*retryState),
 		departed:  make(map[dot.ID]struct{}),
 		done:      make(chan struct{}),
 	}
@@ -691,6 +703,39 @@ func (n *Node) handlePut(ctx context.Context, from dot.ID, body []byte) transpor
 	return transport.Response{Body: EncodeReadResult(n.cfg.Mech, rr)}
 }
 
+// Hint-redelivery backoff shape: after k consecutive all-failed
+// redelivery rounds to a peer, further rounds to it are suppressed for
+// roughly hintBackoffBase<<(k-1), capped at hintBackoffMax. The cap is
+// deliberately short of the mux's 2s dial cap: hints are the convergence
+// debt of a partition, and WaitHintsDrained deadlines budget for at most
+// one cap-length wait after heal.
+const (
+	hintBackoffBase = 10 * time.Millisecond
+	hintBackoffMax  = 500 * time.Millisecond
+)
+
+// retryState is one peer's consecutive-failure streak and the end of its
+// current suppression window.
+type retryState struct {
+	fails int
+	until time.Time
+}
+
+// backoffFor samples the equal-jitter exponential backoff for the k-th
+// consecutive failure (k ≥ 1): uniform in [d/2, d] where d is
+// base<<(k-1) capped at max. Jitter decorrelates retry storms — without
+// it every peer that failed together retries together, which against a
+// just-healed node is a self-inflicted thundering herd. Called with n.mu
+// held (uses n.rng).
+func (n *Node) backoffFor(k int, base, max time.Duration) time.Duration {
+	d := base << min(k-1, 20)
+	if d <= 0 || d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(n.rng.Int63n(int64(half)+1))
+}
+
 // errSuspected marks a replica skipped because it is inside its failure
 // suspicion window — treated like any other replication failure.
 var errSuspected = errors.New("node: peer suspected down")
@@ -967,7 +1012,7 @@ func (n *Node) handleReplPut(body []byte) transport.Response {
 func (n *Node) handleStats() transport.Response {
 	st := n.Stats()
 	w := codec.NewWriter(64)
-	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped, st.ReplBatches, st.BatchedKeys, st.AERepairFailures} {
+	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped, st.ReplBatches, st.BatchedKeys, st.AERepairFailures, st.HintAttempts, st.HintSkips} {
 		w.Uvarint(v)
 	}
 	w.String(st.Engine)
@@ -981,7 +1026,7 @@ func (n *Node) handleStats() transport.Response {
 func DecodeStats(body []byte) (Stats, error) {
 	r := codec.NewReader(body)
 	var st Stats
-	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped, &st.ReplBatches, &st.BatchedKeys, &st.AERepairFailures} {
+	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped, &st.ReplBatches, &st.BatchedKeys, &st.AERepairFailures, &st.HintAttempts, &st.HintSkips} {
 		*p = r.Uvarint()
 	}
 	st.Engine = r.String()
@@ -1017,6 +1062,22 @@ func (n *Node) runAntiEntropyOnce() {
 	peers := withoutID(members, n.cfg.ID)
 	if len(peers) == 0 {
 		return
+	}
+	// Prefer partners outside their failure-suspicion window: through a
+	// partition, a blind random pick wastes a timeout's worth of every
+	// sweep on an unreachable peer, while the reachable side diverges.
+	// (Reading Suspected also prunes expired suspicion entries, so a
+	// partition-long failure streak cannot leak suspicion state.) If
+	// every peer is suspected, fall back to random — suspicion is a
+	// hint, not a membership verdict, and AE is how it gets disproven.
+	fresh := make([]dot.ID, 0, len(peers))
+	for _, p := range peers {
+		if !n.Suspected(p) {
+			fresh = append(fresh, p)
+		}
+	}
+	if len(fresh) > 0 {
+		peers = fresh
 	}
 	n.mu.Lock()
 	peer := peers[n.rng.Intn(len(peers))]
@@ -1286,8 +1347,9 @@ func (n *Node) DeliverHints(ctx context.Context) {
 	// peer drains as a few repl.batch frames instead of one blocking
 	// round trip per key — and one unreachable target cannot stall the
 	// hints behind it.
-	sem := make(chan struct{}, aeRepairWindow)
-	var wg sync.WaitGroup
+	// Resolve every hint's current target first, so backoff decisions are
+	// per destination peer rather than per stale hint address.
+	groups := make(map[dot.ID][]hintItem)
 	for _, it := range todo {
 		target := it.peer
 		if !containsID(members, it.peer) {
@@ -1310,18 +1372,78 @@ func (n *Node) DeliverHints(ctx context.Context) {
 				continue
 			}
 		}
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(it hintItem, target dot.ID) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := n.replPutBatched(ctx, target, it.key, it.state); err != nil {
-				return
-			}
-			retire(it)
-		}(it, target)
+		groups[target] = append(groups[target], it)
+	}
+	targets := make([]dot.ID, 0, len(groups))
+	for tgt := range groups {
+		targets = append(targets, tgt)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	// Backoff gate: a peer whose previous redelivery rounds all failed is
+	// skipped until its suppression window expires, so a partition-long
+	// failure streak costs O(log) attempts instead of one per AE tick.
+	now := time.Now()
+	attempt := targets[:0]
+	n.mu.Lock()
+	for _, tgt := range targets {
+		if rs := n.hintRetry[tgt]; rs != nil && now.Before(rs.until) {
+			n.stats.HintSkips++
+			continue
+		}
+		n.stats.HintAttempts++
+		attempt = append(attempt, tgt)
+	}
+	n.mu.Unlock()
+
+	// Redeliveries are pipelined aeRepairWindow at a time through the
+	// batched replication path, so a backlog of hints for one recovered
+	// peer drains as a few repl.batch frames instead of one blocking
+	// round trip per key — and one unreachable target cannot stall the
+	// hints behind it.
+	type outcome struct{ ok, fail atomic.Uint64 }
+	outcomes := make(map[dot.ID]*outcome, len(attempt))
+	sem := make(chan struct{}, aeRepairWindow)
+	var wg sync.WaitGroup
+	for _, tgt := range attempt {
+		outcomes[tgt] = &outcome{}
+		for _, it := range groups[tgt] {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(it hintItem, target dot.ID, out *outcome) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := n.replPutBatched(ctx, target, it.key, it.state); err != nil {
+					out.fail.Add(1)
+					return
+				}
+				out.ok.Add(1)
+				retire(it)
+			}(it, tgt, outcomes[tgt])
+		}
 	}
 	wg.Wait()
+
+	n.mu.Lock()
+	for tgt, out := range outcomes {
+		if out.ok.Load() > 0 {
+			// The peer is reachable again; the streak ends even if some
+			// keys failed (those stay pending for the next round).
+			delete(n.hintRetry, tgt)
+			continue
+		}
+		if out.fail.Load() == 0 {
+			continue // nothing was actually sent (all retired elsewhere)
+		}
+		rs := n.hintRetry[tgt]
+		if rs == nil {
+			rs = &retryState{}
+			n.hintRetry[tgt] = rs
+		}
+		rs.fails++
+		rs.until = time.Now().Add(n.backoffFor(rs.fails, hintBackoffBase, hintBackoffMax))
+	}
+	n.mu.Unlock()
 }
 
 // antiEntropyDigest is the large-store reconciliation path: exchange

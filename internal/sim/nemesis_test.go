@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestNemesisConvergence is the E4 acceptance gate, run across three
+// seeds: under an asymmetric partition with drop/duplication/reorder on
+// every node link and an fsync stall on one replica, the dotted
+// mechanisms must converge post-heal with the exact acked sibling sets —
+// zero lost acked writes, zero false conflicts, unique dots, drained
+// hints, agreeing replicas — while the server-side VV baseline must
+// exhibit at least one lost update or false conflict in the same run.
+// Run under -race in CI.
+func TestNemesisConvergence(t *testing.T) {
+	seeds := []int64{7, 19, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := DefaultNemesisConfig()
+		cfg.Seed = seed
+		if testing.Short() {
+			cfg.Keys, cfg.WritesPerWriter = 4, 12
+		}
+		results, table, err := RunNemesis(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", table.String())
+		for _, r := range results {
+			if r.Mechanism == "servervv" {
+				// The baseline: plain server-side version vectors cannot
+				// tell two concurrent writes through one coordinator
+				// apart, so the nemesis must surface at least one
+				// anomaly. (Its run proving *un*safety is the point.)
+				if r.Lost+r.FalseConflicts == 0 {
+					t.Errorf("seed %d: servervv survived the nemesis unscathed — the baseline shows nothing", seed)
+				}
+				continue
+			}
+			if !r.Faulted() {
+				t.Errorf("seed %d %s: fault timeline never fired (severed=%d stalls=%d)",
+					seed, r.Mechanism, r.Chaos.Severed, r.Stalls)
+			}
+			if r.AckedWrites == 0 {
+				t.Errorf("seed %d %s: no writes acknowledged", seed, r.Mechanism)
+			}
+			if !r.Clean() {
+				t.Errorf("seed %d %s: DIVERGED: incomplete=%d lost=%d false-conflicts=%d dup-dots=%d pending-hints=%d disagree=%d",
+					seed, r.Mechanism, r.Incomplete, r.Lost, r.FalseConflicts,
+					r.DuplicateDots, r.PendingHints, r.Disagree)
+			}
+		}
+	}
+}
+
+// TestNemesisTableShape pins the report columns the CLI prints.
+func TestNemesisTableShape(t *testing.T) {
+	cfg := DefaultNemesisConfig()
+	cfg.Keys, cfg.WritesPerWriter, cfg.Seed = 2, 6, 3
+	results, table, err := RunNemesis(cfg, core.NewDVV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || len(table.Rows) != 1 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	if len(table.Headers) != 17 {
+		t.Fatalf("headers = %v", table.Headers)
+	}
+}

@@ -59,6 +59,11 @@ type Options struct {
 	// MemBudget bounds the tiered engine's hot-cache bytes
 	// (0 = DefaultMemBudget; ignored by the memory engine).
 	MemBudget int64
+	// Faults, when non-nil, attaches a schedulable transient disk-fault
+	// injector (fsync stalls, bounded append failures) to the engine's
+	// WAL at open — the nemesis experiments' slow-disk hook. See
+	// fault.go; equivalent to calling InjectFaults after Open.
+	Faults *Faults
 	// Fsync makes every WAL group-commit batch fsync before the mutation
 	// is acknowledged; off, appends are buffered writes and a crash can
 	// lose the un-synced tail (never a torn half-state: replay still
@@ -242,6 +247,14 @@ func (s *Store) WALSize() int64 {
 func (s *Store) FailWALAt(offset int64, onCrash func()) {
 	if s.wal != nil {
 		s.wal.FailAt(offset, onCrash)
+	}
+}
+
+// InjectFaults attaches a transient disk-fault injector to the WAL (see
+// fault.go); a no-op on in-memory stores, which have no disk to be sick.
+func (s *Store) InjectFaults(f *Faults) {
+	if s.wal != nil {
+		s.wal.SetFaults(f)
 	}
 }
 

@@ -76,6 +76,10 @@ type Engine interface {
 	WALSize() int64
 	// FailWALAt arms the WAL crash failpoint (experiments only).
 	FailWALAt(offset int64, onCrash func())
+	// InjectFaults attaches a schedulable transient disk-fault injector
+	// — fsync stalls, bounded append failures — to the engine's WAL
+	// (experiments only; a no-op on non-durable stores). See fault.go.
+	InjectFaults(f *Faults)
 	// Checkpoint compacts the log so recovery replays little or nothing.
 	Checkpoint() error
 	// Close flushes and closes the engine.
@@ -93,12 +97,23 @@ var (
 // WAL and atomic snapshots; EngineTiered is the memory-bounded cache over
 // spill segments).
 func Open(mech core.Mechanism, o Options) (Engine, error) {
+	var (
+		e   Engine
+		err error
+	)
 	switch o.Engine {
 	case "", EngineMemory:
-		return openStore(mech, o)
+		e, err = openStore(mech, o)
 	case EngineTiered:
-		return openTiered(mech, o)
+		e, err = openTiered(mech, o)
 	default:
 		return nil, fmt.Errorf("storage: unknown engine %q (want %s or %s)", o.Engine, EngineMemory, EngineTiered)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if o.Faults != nil {
+		e.InjectFaults(o.Faults)
+	}
+	return e, nil
 }

@@ -1,0 +1,94 @@
+// Disk-fault injection: a schedulable generalization of the FailWALAt
+// byte failpoint. Where FailAt models a *crash* (the log wedges forever,
+// as if the process died), Faults models a *sick disk that recovers*:
+// fsync stalls of a chosen duration, and transient append errors that
+// fail a bounded number of mutations without wedging the log. The nemesis
+// scheduler arms these on one replica during a fault window and clears
+// them at heal — a first-class "one slow disk in the quorum" scenario.
+package storage
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault is the transient error returned by mutations while an
+// append fault is scheduled. Unlike ErrWALCrashed it is retryable: the
+// log is not wedged, nothing was written, and memory was not touched
+// (write-ahead order holds — a failed append never installs).
+var ErrInjectedFault = errors.New("storage: injected disk fault")
+
+// FaultStats counts injections actually delivered, so an experiment can
+// assert its fault schedule fired.
+type FaultStats struct {
+	// Stalls counts commit batches that slept an injected stall.
+	Stalls uint64
+	// FailedAppends counts appends failed with ErrInjectedFault.
+	FailedAppends uint64
+}
+
+// Faults is a disk-fault injector shared between a scheduler goroutine
+// and the WAL it is attached to (Engine.InjectFaults / Options.Faults).
+// All methods are safe for concurrent use. The zero value injects
+// nothing.
+type Faults struct {
+	mu          sync.Mutex
+	stallDur    time.Duration
+	failAppends int
+	stats       FaultStats
+}
+
+// StallFsync makes every subsequent WAL commit batch sleep d before
+// touching the disk — the slow-fsync stall. d = 0 clears the stall.
+func (f *Faults) StallFsync(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stallDur = d
+}
+
+// FailNextAppends schedules the next n WAL appends to fail with
+// ErrInjectedFault (each failed append consumes one). n = 0 clears any
+// remaining scheduled failures.
+func (f *Faults) FailNextAppends(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAppends = n
+}
+
+// Clear removes every scheduled fault (counters are kept).
+func (f *Faults) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stallDur = 0
+	f.failAppends = 0
+}
+
+// Stats returns a snapshot of the injection counters.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// appendErr consumes one scheduled append failure, if any.
+func (f *Faults) appendErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failAppends <= 0 {
+		return nil
+	}
+	f.failAppends--
+	f.stats.FailedAppends++
+	return ErrInjectedFault
+}
+
+// stall samples the current commit-path stall and counts it.
+func (f *Faults) stall() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stallDur > 0 {
+		f.stats.Stalls++
+	}
+	return f.stallDur
+}

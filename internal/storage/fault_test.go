@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// faultEngines runs fn against both durable engines with an injector
+// attached via Options.Faults — the same surface the nemesis uses.
+func faultEngines(t *testing.T, fn func(t *testing.T, e Engine, f *Faults, reopen func() Engine)) {
+	t.Helper()
+	for _, kind := range []string{EngineMemory, EngineTiered} {
+		t.Run(kind, func(t *testing.T) {
+			m := core.NewDVV()
+			dir := t.TempDir()
+			f := &Faults{}
+			open := func() Engine {
+				e, err := Open(m, Options{Engine: kind, Dir: dir, Faults: f})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			e := open()
+			defer func() { e.Close() }()
+			fn(t, e, f, func() Engine {
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+				e = open()
+				return e
+			})
+		})
+	}
+}
+
+func TestFaultTransientAppendError(t *testing.T) {
+	faultEngines(t, func(t *testing.T, e Engine, f *Faults, reopen func() Engine) {
+		m := core.NewDVV()
+		w := core.WriteInfo{Server: "S1", Client: "c1"}
+
+		f.FailNextAppends(2)
+		if _, err := e.Put("k", m.EmptyContext(), []byte("v1"), w); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("put during fault: %v", err)
+		}
+		// Write-ahead order: the failed put must not have installed.
+		if _, ok := e.Get("k"); ok {
+			t.Fatal("failed put is visible in memory")
+		}
+		if _, err := e.Put("k", m.EmptyContext(), []byte("v2"), w); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("second scheduled failure: %v", err)
+		}
+		// The fault is transient: the log is not wedged.
+		if _, err := e.Put("k", m.EmptyContext(), []byte("v3"), w); err != nil {
+			t.Fatalf("put after faults consumed: %v", err)
+		}
+		if got := f.Stats().FailedAppends; got != 2 {
+			t.Fatalf("FailedAppends = %d, want 2", got)
+		}
+
+		// The surviving record is durable: it comes back after reopen.
+		e = reopen()
+		rr, ok := e.Get("k")
+		if !ok || len(rr.Values) != 1 || string(rr.Values[0]) != "v3" {
+			t.Fatalf("after reopen: ok=%v values=%q", ok, rr.Values)
+		}
+	})
+}
+
+func TestFaultFsyncStall(t *testing.T) {
+	faultEngines(t, func(t *testing.T, e Engine, f *Faults, reopen func() Engine) {
+		m := core.NewDVV()
+		w := core.WriteInfo{Server: "S1", Client: "c1"}
+
+		const stall = 15 * time.Millisecond
+		f.StallFsync(stall)
+		start := time.Now()
+		if _, err := e.Put("k", m.EmptyContext(), []byte("v"), w); err != nil {
+			t.Fatal(err)
+		}
+		if el := time.Since(start); el < stall {
+			t.Fatalf("put took %v, want ≥ %v injected stall", el, stall)
+		}
+		if f.Stats().Stalls == 0 {
+			t.Fatal("Stalls counter not bumped")
+		}
+		f.Clear()
+		if _, err := e.Put("k2", m.EmptyContext(), []byte("v"), w); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestFaultClearAndZeroValue(t *testing.T) {
+	var f Faults
+	if err := f.appendErr(); err != nil {
+		t.Fatalf("zero-value injector should be inert: %v", err)
+	}
+	if d := f.stall(); d != 0 {
+		t.Fatalf("zero-value stall = %v", d)
+	}
+	f.FailNextAppends(5)
+	f.StallFsync(time.Second)
+	f.Clear()
+	if err := f.appendErr(); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+	if d := f.stall(); d != 0 {
+		t.Fatalf("after Clear stall = %v", d)
+	}
+}

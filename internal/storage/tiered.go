@@ -695,6 +695,10 @@ func (t *Tiered) FailWALAt(offset int64, onCrash func()) {
 	t.wal.FailAt(offset, onCrash)
 }
 
+// InjectFaults attaches a transient disk-fault injector to the WAL (see
+// fault.go).
+func (t *Tiered) InjectFaults(f *Faults) { t.wal.SetFaults(f) }
+
 // flushDirty spills every dirty entry to the active segment, one shard
 // lock at a time — the incremental-checkpoint walk. Spilled entries stay
 // hot; only their dirty bit clears.

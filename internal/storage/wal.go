@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // ErrCorruptRecord reports mid-file damage: a record that is fully present
@@ -85,6 +86,10 @@ type WAL struct {
 	onCrash func()
 	fired   bool
 
+	// faults, when non-nil, is the schedulable transient-fault injector
+	// (fsync stalls, bounded append failures) — see fault.go.
+	faults *Faults
+
 	appends, batches, syncs uint64
 }
 
@@ -134,6 +139,15 @@ func (w *WAL) FailAt(offset int64, onCrash func()) {
 	w.mu.Unlock()
 }
 
+// SetFaults attaches (or, with nil, detaches) the transient-fault
+// injector. Unlike FailAt's permanent crash, injected faults are
+// retryable and never wedge the log.
+func (w *WAL) SetFaults(f *Faults) {
+	w.mu.Lock()
+	w.faults = f
+	w.mu.Unlock()
+}
+
 // Append frames payload and blocks until the record is durable (written,
 // and fsynced when the log is in sync mode). Concurrent appenders share
 // commit batches: whichever goroutine finds no flush in progress becomes
@@ -153,6 +167,14 @@ func (w *WAL) Append(payload []byte) error {
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return w.err
+	}
+	if w.faults != nil {
+		// Transient fault: fail *before* queuing, so the group-commit
+		// offset accounting never sees the record and the log stays
+		// healthy for the very next append.
+		if err := w.faults.appendErr(); err != nil {
+			return err
+		}
 	}
 	var hdr [walHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -176,8 +198,12 @@ func (w *WAL) Append(payload []byte) error {
 		w.pending = nil
 		start := w.durable
 		crashAt := w.crashAt
+		stall := w.stallLocked()
 		f := w.f // captured under mu; rotate may swap it once flushing clears
 		w.mu.Unlock()
+		if stall > 0 {
+			time.Sleep(stall) // injected slow-disk stall (fault.go)
+		}
 		n, ferr := flushBatch(f, batch, start, crashAt, w.sync)
 		w.mu.Lock()
 		w.flushing = false
@@ -193,6 +219,14 @@ func (w *WAL) Append(payload []byte) error {
 		return nil
 	}
 	return w.err
+}
+
+// stallLocked samples the injected commit-path stall (mu held).
+func (w *WAL) stallLocked() time.Duration {
+	if w.faults == nil {
+		return 0
+	}
+	return w.faults.stall()
 }
 
 // noteFlushErr records a terminal flush error and fires the armed onCrash
@@ -322,6 +356,9 @@ func (w *WAL) failRotate(err error, step string) error {
 func (w *WAL) flushPendingLocked() error {
 	if len(w.pending) == 0 {
 		return nil
+	}
+	if stall := w.stallLocked(); stall > 0 {
+		time.Sleep(stall) // injected slow-disk stall (fault.go)
 	}
 	n, ferr := flushBatch(w.f, w.pending, w.durable, w.crashAt, w.sync)
 	w.durable += int64(n)

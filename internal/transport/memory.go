@@ -98,6 +98,17 @@ func (m *Memory) Partition(a, b dot.ID) {
 	m.cut[[2]dot.ID{b, a}] = true
 }
 
+// PartitionOneWay severs communication from a to b only: a's requests to
+// b (and b's responses back to a's requests — the a→b leg of them) are
+// lost, while b can still initiate traffic to a. This is the asymmetric
+// split the nemesis experiments use: one side of the cluster sees the
+// other as dead while the reverse path still works.
+func (m *Memory) PartitionOneWay(a, b dot.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut[[2]dot.ID{a, b}] = true
+}
+
 // Heal restores communication between a and b.
 func (m *Memory) Heal(a, b dot.ID) {
 	m.mu.Lock()

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,7 @@ type Mux struct {
 	dial    map[dot.ID]*dialState    // reconnect backoff per peer
 	dialing map[dot.ID]chan struct{} // single-flight guard: one dial per peer
 	ever    map[dot.ID]bool          // peers we have had a connection with
+	rng     *rand.Rand               // dial-backoff jitter (under mu)
 	h       Handler
 	ln      net.Listener
 
@@ -137,8 +139,21 @@ func NewMux(self dot.ID, addrs map[dot.ID]string) *Mux {
 		dial:    make(map[dot.ID]*dialState),
 		dialing: make(map[dot.ID]chan struct{}),
 		ever:    make(map[dot.ID]bool),
-		done:    make(chan struct{}),
+		// Seeded from the node identity: deterministic per process, yet
+		// different across the fleet — exactly what jitter needs.
+		rng:  rand.New(rand.NewSource(int64(fnvHash(string(self))))),
+		done: make(chan struct{}),
 	}
+}
+
+// fnvHash is a tiny FNV-1a for seeding the jitter RNG from an id.
+func fnvHash(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Register installs the handler served to inbound requests. Ids other
@@ -339,6 +354,11 @@ func (t *Mux) dialPeer(ctx context.Context, to dot.ID, addr string) (*muxConn, e
 		if backoff > muxBackoffMax || backoff <= 0 {
 			backoff = muxBackoffMax
 		}
+		// Equal jitter — uniform in [backoff/2, backoff] — so a fleet of
+		// peers that lost the same node does not redial it in lockstep
+		// when their identical windows expire together (retry storms are
+		// how a node struggling back from a partition gets knocked over).
+		backoff = backoff/2 + time.Duration(t.rng.Int63n(int64(backoff/2)+1))
 		ds.until = time.Now().Add(backoff)
 		t.mu.Unlock()
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
