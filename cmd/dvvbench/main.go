@@ -16,6 +16,7 @@
 //	dvvbench -experiment saturate       # E3: transport saturation (lockstep vs mux over real TCP)
 //	dvvbench -experiment nemesis        # E4: partition convergence under a fault-injecting nemesis
 //	dvvbench -experiment tiered         # D4: bounded-memory tiered engine vs all-memory
+//	dvvbench -experiment merkle         # E5: anti-entropy repair cost, scan vs digest vs hash-tree walk
 //	dvvbench -churn                     # shorthand for -experiment churn
 //	dvvbench -experiment nemesis -seed 7  # any experiment, reproducible fault/workload schedule
 //	dvvbench -experiment riak -csv      # CSV instead of aligned text
@@ -43,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|nemesis|tiered|all")
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|nemesis|tiered|merkle|all")
 		churn      = fs.Bool("churn", false, "shorthand for -experiment churn (elastic membership scenario)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
@@ -192,6 +193,14 @@ func run(args []string) error {
 				return err
 			}
 			emit(table)
+		case "merkle":
+			cfg := sim.DefaultMerkleConfig()
+			cfg.Seed = *seed
+			_, table, err := sim.RunMerkleAE(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
 		case "nemesis":
 			cfg := sim.DefaultNemesisConfig()
 			cfg.Seed = *seed
@@ -233,7 +242,7 @@ func run(args []string) error {
 		*experiment = "churn"
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate", "nemesis"} {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate", "nemesis", "merkle"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

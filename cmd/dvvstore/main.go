@@ -103,6 +103,7 @@ func serve(args []string) error {
 		fsync  = fs.Bool("fsync", true, "fsync every WAL commit before acking a write (with -data); off trades the unsynced tail for latency")
 		engine = fs.String("engine", "memory", "storage engine (with -data): memory (whole keyspace resident) or tiered (byte-budgeted hot cache over spill segments)")
 		budget = fs.Int64("mem-budget", 0, "tiered engine hot-cache byte budget (0 = default 64 MiB)")
+		aeMode = fs.String("ae", "tree", "anti-entropy exchange: tree (incremental hash-tree walk), digest (legacy Merkle leaf dump) or scan (flat key/hash exchange)")
 		trans  = fs.String("transport", "mux", "wire transport: mux (multiplexed, one conn per peer pair) or lockstep (one exchange per pooled conn); every node and client must agree")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -149,6 +150,7 @@ func serve(args []string) error {
 		Fsync:               *fsync,
 		Engine:              *engine,
 		MemBudget:           *budget,
+		AEMode:              *aeMode,
 	})
 	if err != nil {
 		return err

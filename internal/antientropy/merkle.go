@@ -7,7 +7,6 @@
 package antientropy
 
 import (
-	"hash/fnv"
 	"sort"
 )
 
@@ -26,9 +25,7 @@ type Digest struct {
 
 // BucketOf maps a key to its leaf index.
 func BucketOf(key string, buckets int) int {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return int(h.Sum64() % uint64(buckets))
+	return int(fnv64(key) % uint64(buckets))
 }
 
 // combine mixes two child hashes into a parent hash (order-sensitive).
@@ -47,16 +44,9 @@ func combine(a, b uint64) uint64 {
 }
 
 // mixKey folds one key's state hash into a bucket (commutative fold so
-// insertion order does not matter).
+// insertion order does not matter). Same per-key fold as KeyFold.
 func mixKey(bucket uint64, key string, stateHash uint64) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(stateHash >> (8 * i))
-	}
-	h.Write(b[:])
-	return bucket ^ h.Sum64() // XOR: commutative, self-inverse
+	return bucket ^ KeyFold(key, stateHash) // XOR: commutative, self-inverse
 }
 
 // Build constructs a digest over the (key, stateHash) pairs. buckets must

@@ -1,0 +1,134 @@
+package antientropy
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Incremental updates must land on the same tree as a from-scratch build,
+// for any interleaving of inserts and overwrites.
+func TestTreeIncrementalMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inc := NewTree()
+	truth := make(map[string]uint64)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%04d", rng.Intn(1500))
+		h := rng.Uint64()
+		old, existed := truth[k]
+		inc.Update(k, old, existed, h)
+		truth[k] = h
+	}
+	want := BuildTree(truth)
+	for level := 0; level < TreeLevels(); level++ {
+		for i := 0; i < TreeLevelSize(level); i++ {
+			if g, w := inc.Digest(level, i), want.Digest(level, i); g != w {
+				t.Fatalf("digest(%d,%d) = %x, want %x", level, i, g, w)
+			}
+		}
+	}
+	if inc.Root() != want.Root() {
+		t.Fatalf("root mismatch")
+	}
+}
+
+// Install order must not matter: XOR-folded leaves are commutative.
+func TestTreeOrderIndependent(t *testing.T) {
+	keys := make([]string, 300)
+	hashes := make(map[string]uint64, len(keys))
+	rng := rand.New(rand.NewSource(3))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", i)
+		hashes[keys[i]] = rng.Uint64()
+	}
+	a, b := NewTree(), NewTree()
+	for _, k := range keys {
+		a.Update(k, 0, false, hashes[k])
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Update(keys[i], 0, false, hashes[keys[i]])
+	}
+	if a.Root() != b.Root() {
+		t.Fatal("root depends on insertion order")
+	}
+}
+
+// Overwriting a key back to its old hash must restore the old tree, and
+// two empty trees must agree at every coordinate.
+func TestTreeSelfInverseAndEmpty(t *testing.T) {
+	a, b := NewTree(), NewTree()
+	if a.Root() != b.Root() {
+		t.Fatal("empty roots differ")
+	}
+	r0 := a.Root()
+	a.Update("k", 0, false, 42)
+	if a.Root() == r0 {
+		t.Fatal("update did not change root")
+	}
+	a.Update("k", 42, true, 99)
+	a.Update("k", 99, true, 42)
+	b.Update("k", 0, false, 42)
+	if a.Root() != b.Root() {
+		t.Fatal("undo did not restore tree")
+	}
+}
+
+func TestTreeGeometry(t *testing.T) {
+	if TreeLevelSize(0) != TreeLeaves {
+		t.Fatalf("leaf level size = %d", TreeLevelSize(0))
+	}
+	if TreeLevelSize(TreeRootLevel()) != 1 {
+		t.Fatalf("root level size = %d", TreeLevelSize(TreeRootLevel()))
+	}
+	if TreeLevelSize(-1) != 0 || TreeLevelSize(TreeLevels()) != 0 {
+		t.Fatal("out-of-range level size not 0")
+	}
+	for level := TreeLevels() - 1; level > 0; level-- {
+		covered := 0
+		for i := 0; i < TreeLevelSize(level); i++ {
+			lo, hi := TreeChildSpan(level, i)
+			if lo != covered {
+				t.Fatalf("level %d node %d starts at %d, want %d", level, i, lo, covered)
+			}
+			covered = hi
+		}
+		if covered != TreeLevelSize(level-1) {
+			t.Fatalf("level %d covers %d of %d children", level, covered, TreeLevelSize(level-1))
+		}
+	}
+	if TreeBucketOf("some-key") != BucketOf("some-key", TreeLeaves) {
+		t.Fatal("TreeBucketOf disagrees with BucketOf")
+	}
+}
+
+// Concurrent Apply calls from many goroutines must commute (exercised
+// under -race in CI).
+func TestTreeConcurrentApply(t *testing.T) {
+	tr := NewTree()
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i)
+				tr.Update(k, 0, false, rng.Uint64())
+				_ = tr.Root() // interleave interior reads with updates
+			}
+		}(w)
+	}
+	wg.Wait()
+	truth := make(map[string]uint64)
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < 2000; i++ {
+			truth[fmt.Sprintf("w%d-k%d", w, i)] = rng.Uint64()
+		}
+	}
+	if tr.Root() != BuildTree(truth).Root() {
+		t.Fatal("concurrent updates lost a delta")
+	}
+}

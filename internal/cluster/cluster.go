@@ -82,6 +82,11 @@ type Config struct {
 	// RepairConcurrency caps each node's background repair goroutines
 	// (see node.Config); 0 means node.DefaultRepairConcurrency.
 	RepairConcurrency int
+
+	// AEMode selects each node's anti-entropy exchange (see
+	// node.Config.AEMode): empty or "tree" walks the incremental hash
+	// tree; "digest" and "scan" are the legacy baselines.
+	AEMode string
 }
 
 // Cluster is a set of replica nodes sharing a ring and transport.
@@ -201,6 +206,7 @@ func (c *Cluster) startNode(id dot.ID, seedOffset int64) (*node.Node, error) {
 		Fsync:               c.cfg.Fsync,
 		Engine:              c.cfg.Engine,
 		MemBudget:           c.cfg.MemBudget,
+		AEMode:              c.cfg.AEMode,
 		Seed:                c.cfg.Seed + seedOffset,
 	})
 }

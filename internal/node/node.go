@@ -52,6 +52,7 @@ const (
 	MethodReplBatch = "repl.batch"    // batched replica state push (coalesced fan-out, repair, hints, AE)
 	MethodAEDiff    = "ae.diff"       // anti-entropy flat key/hash exchange
 	MethodAEDigest  = "ae.digest"     // anti-entropy Merkle leaf exchange
+	MethodAETree    = "ae.tree"       // anti-entropy hash-tree walk (see aetree.go)
 	MethodStats     = "stats"         // operational counters
 	MethodHandoff   = "handoff.batch" // membership handoff: batched key/state stream
 	MethodJoin      = "member.join"   // membership gossip: a node joins
@@ -152,6 +153,15 @@ type Config struct {
 	// baseline).
 	NoReplBatch bool
 
+	// AEMode selects the anti-entropy exchange: AEModeTree (the default,
+	// also "") walks the incrementally-maintained hash tree root-first
+	// and ships only diverging subtrees; AEModeDigest restores the
+	// previous behaviour (flat exchange below aeDigestThreshold keys, the
+	// rebuilt Merkle leaf dump above); AEModeScan always ships every
+	// (key, hash) pair. The non-tree modes are kept as A/B baselines for
+	// benches and the E5 experiment.
+	AEMode string
+
 	// Addr is the node's advertised network address, carried in membership
 	// gossip so TCP peers learn how to dial a joiner. Empty for in-memory
 	// transports.
@@ -194,6 +204,11 @@ func (c *Config) validate() error {
 	}
 	if c.Engine == storage.EngineTiered && c.DataDir == "" {
 		return errors.New("node: engine=tiered requires DataDir")
+	}
+	switch c.AEMode {
+	case "", AEModeTree, AEModeDigest, AEModeScan:
+	default:
+		return fmt.Errorf("node: unknown AEMode %q (want %s, %s or %s)", c.AEMode, AEModeTree, AEModeDigest, AEModeScan)
 	}
 	return nil
 }
@@ -243,6 +258,12 @@ type Stats struct {
 	// path does not busy-spin through an outage.
 	HintAttempts uint64
 	HintSkips    uint64
+	// AETreeRounds counts ae.tree round trips this node initiated;
+	// AETreeNodes the tree nodes those frames compared. A converged tick
+	// is exactly one round comparing one node (the root), so these gauge
+	// how deep divergence forced the walk.
+	AETreeRounds uint64
+	AETreeNodes  uint64
 
 	// Engine-level store counters, filled from storage.Stats at Stats()
 	// time rather than bump-maintained. Engine names the storage engine;
@@ -425,6 +446,8 @@ func (n *Node) Handle(ctx context.Context, from dot.ID, req transport.Request) t
 		return n.handleAEDiff(req.Body)
 	case MethodAEDigest:
 		return n.handleAEDigest(req.Body)
+	case MethodAETree:
+		return n.handleAETree(req.Body)
 	case MethodStats:
 		return n.handleStats()
 	case MethodHandoff:
@@ -1012,7 +1035,7 @@ func (n *Node) handleReplPut(body []byte) transport.Response {
 func (n *Node) handleStats() transport.Response {
 	st := n.Stats()
 	w := codec.NewWriter(64)
-	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped, st.ReplBatches, st.BatchedKeys, st.AERepairFailures, st.HintAttempts, st.HintSkips} {
+	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped, st.ReplBatches, st.BatchedKeys, st.AERepairFailures, st.HintAttempts, st.HintSkips, st.AETreeRounds, st.AETreeNodes} {
 		w.Uvarint(v)
 	}
 	w.String(st.Engine)
@@ -1026,7 +1049,7 @@ func (n *Node) handleStats() transport.Response {
 func DecodeStats(body []byte) (Stats, error) {
 	r := codec.NewReader(body)
 	var st Stats
-	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped, &st.ReplBatches, &st.BatchedKeys, &st.AERepairFailures, &st.HintAttempts, &st.HintSkips} {
+	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped, &st.ReplBatches, &st.BatchedKeys, &st.AERepairFailures, &st.HintAttempts, &st.HintSkips, &st.AETreeRounds, &st.AETreeNodes} {
 		*p = r.Uvarint()
 	}
 	st.Engine = r.String()
@@ -1096,15 +1119,18 @@ func (n *Node) runAntiEntropyOnce() {
 	}
 }
 
-// AntiEntropyWith reconciles this node's keys with one peer. Small stores
-// use the flat exchange (every (key, hash) pair crosses the wire); large
-// stores first exchange a Merkle leaf digest and reconcile only the keys
-// in differing buckets.
+// AntiEntropyWith reconciles this node's keys with one peer under the
+// configured Config.AEMode: by default a root-first walk of the
+// incremental hash tree (aetree.go) that touches only diverging
+// subtrees; the flat and digest exchanges remain selectable as
+// baselines.
 func (n *Node) AntiEntropyWith(ctx context.Context, peer dot.ID) error {
-	keys := n.store.Keys()
-	if len(keys) > aeDigestThreshold {
-		return n.antiEntropyDigest(ctx, peer, keys)
-	}
+	return n.antiEntropyWithMode(ctx, peer, n.cfg.AEMode)
+}
+
+// antiEntropyScan is the flat exchange: every (key, hash) pair crosses
+// the wire, the peer answers with full states for what differs.
+func (n *Node) antiEntropyScan(ctx context.Context, peer dot.ID, keys []string) error {
 	w := codec.NewWriter(64 + 16*len(keys))
 	w.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
@@ -1204,6 +1230,52 @@ func (n *Node) pushStates(ctx context.Context, peer dot.ID, keys []string) int {
 		n.bump(func(s *Stats) { s.AERepairFailures += uint64(f) })
 	}
 	return int(failed.Load())
+}
+
+// pullKeys fetches the peer's state for each key and merges it locally —
+// pipelined aeRepairWindow at a time, each pull independent: a failed
+// RPC counts against Stats.AERepairFailures and the sweep moves on, so
+// one slow exchange cannot strand the rest of the diff. Only a local
+// persistence failure (SyncKey) is fatal: that is this node's durability
+// problem, not the network's.
+func (n *Node) pullKeys(ctx context.Context, peer dot.ID, keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	var (
+		wg         sync.WaitGroup
+		sem        = make(chan struct{}, aeRepairWindow)
+		pullFailed atomic.Int64
+		syncErr    atomic.Value // first local SyncKey error, fatal
+	)
+	for _, k := range keys {
+		if ctx.Err() != nil {
+			pullFailed.Add(1)
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			st, found, err := n.replGet(ctx, peer, k)
+			if err != nil {
+				pullFailed.Add(1)
+				return
+			}
+			if found {
+				if err := n.store.SyncKey(k, st); err != nil {
+					syncErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	if f := pullFailed.Load(); f > 0 {
+		n.bump(func(s *Stats) { s.AERepairFailures += uint64(f) })
+	}
+	err, _ := syncErr.Load().(error)
+	return err
 }
 
 func (n *Node) handleAEDiff(body []byte) transport.Response {
@@ -1518,39 +1590,7 @@ func (n *Node) antiEntropyDigest(ctx context.Context, peer dot.ID, keys []string
 		pulls = append(pulls, k)
 	}
 	sort.Strings(pulls)
-	var (
-		wg         sync.WaitGroup
-		sem        = make(chan struct{}, aeRepairWindow)
-		pullFailed atomic.Int64
-		syncErr    atomic.Value // first local SyncKey error, fatal
-	)
-	for _, k := range pulls {
-		if ctx.Err() != nil {
-			pullFailed.Add(1)
-			continue
-		}
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(k string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			st, found, err := n.replGet(ctx, peer, k)
-			if err != nil {
-				pullFailed.Add(1)
-				return
-			}
-			if found {
-				if err := n.store.SyncKey(k, st); err != nil {
-					syncErr.CompareAndSwap(nil, err)
-				}
-			}
-		}(k)
-	}
-	wg.Wait()
-	if f := pullFailed.Load(); f > 0 {
-		n.bump(func(s *Stats) { s.AERepairFailures += uint64(f) })
-	}
-	if err, _ := syncErr.Load().(error); err != nil {
+	if err := n.pullKeys(ctx, peer, pulls); err != nil {
 		return err
 	}
 	for _, k := range antientropy.KeysInBuckets(keys, digest.Buckets(), diffBuckets) {

@@ -16,7 +16,10 @@ import (
 func TestAntiEntropyDigestPathLargeStore(t *testing.T) {
 	// Above the threshold the digest exchange must reconcile exactly the
 	// divergent keys in both directions.
-	nodes, mem, _ := testCluster(t, 2, func(c *Config) { c.N, c.R, c.W = 2, 1, 1 })
+	nodes, mem, _ := testCluster(t, 2, func(c *Config) {
+		c.N, c.R, c.W = 2, 1, 1
+		c.AEMode = AEModeDigest // this test pins the legacy digest path
+	})
 	a, b := nodes[0], nodes[1]
 	m := a.cfg.Mech
 	// Shared base well above aeDigestThreshold.

@@ -1,0 +1,251 @@
+package sim
+
+// E5 — Merkle-tree anti-entropy: the experiment behind the ae.tree walk.
+// Two replicas over real TCP loopback (the mux transport) hold a large,
+// almost-identical keyspace — a small fraction of keys diverged — and
+// one anti-entropy sweep per exchange mode runs to convergence:
+//
+//	scan    every (key, hash) pair crosses the wire, O(keyspace) bytes
+//	digest  the rebuilt two-level Merkle leaf dump, O(buckets) request
+//	        but O(keys-in-diff-buckets) response and O(keyspace) CPU
+//	tree    the incremental hash-tree walk: root compare, descend only
+//	        differing subtrees, O(divergence · depth) everything
+//
+// Measured per mode: wall time to convergence, bytes and frames on the
+// wire (both transports' Meter counters), sweeps needed, and the ae.tree
+// round trips. The acceptance bar for the tree plane: at ≥100k keys and
+// 0.01% divergence, both bytes-on-wire and convergence time drop by
+// ≥10× against the flat-digest baseline — enforced in-run so the CI
+// snapshot fails loudly if the walk regresses.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/antientropy"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/node"
+	"repro/internal/ring"
+	"repro/internal/stats"
+)
+
+// MerkleConfig parameterises the E5 experiment.
+type MerkleConfig struct {
+	// Keys is the keyspace size seeded identically on both replicas.
+	Keys int
+	// DiffFrac is the fraction of keys rewritten on one replica before
+	// the sweep (the divergence anti-entropy must find and repair).
+	DiffFrac float64
+	// ValueBytes is the payload size per key.
+	ValueBytes int
+	// Timeout bounds each sweep.
+	Timeout time.Duration
+	Seed    int64
+	// Modes are the exchanges to compare (node.AEMode* names).
+	Modes []string
+	// Enforce applies the ≥10× acceptance bar (bytes and time, tree vs
+	// digest). Leave false for reduced smoke-test sizes, where a tree
+	// walk's fixed costs rival the flat paths' tiny scans.
+	Enforce bool
+}
+
+// DefaultMerkleConfig is the acceptance-bar configuration: 200k keys,
+// 0.01% divergence, all three exchanges.
+func DefaultMerkleConfig() MerkleConfig {
+	return MerkleConfig{
+		Keys:       200_000,
+		DiffFrac:   0.0001,
+		ValueBytes: 16,
+		Timeout:    time.Minute,
+		Seed:       29,
+		Modes:      []string{node.AEModeScan, node.AEModeDigest, node.AEModeTree},
+		Enforce:    true,
+	}
+}
+
+// MerkleResult is one mode's measured sweep.
+type MerkleResult struct {
+	Mode     string
+	Keys     int
+	Diverged int
+	// Sweeps is how many AntiEntropyWith calls convergence took (1 on a
+	// reliable network).
+	Sweeps int
+	// Elapsed is wall time from first sweep to verified convergence.
+	Elapsed time.Duration
+	// Bytes and Frames are the deltas across both transports' meters.
+	Bytes, Frames uint64
+	// TreeRounds and TreeNodes are the initiator's ae.tree counters
+	// (zero for the flat modes).
+	TreeRounds, TreeNodes uint64
+}
+
+// RunMerkleAE runs one sweep per mode and renders the E5 table. The
+// returned results carry the raw numbers for snapshotting.
+func RunMerkleAE(cfg MerkleConfig) ([]MerkleResult, *stats.Table, error) {
+	if cfg.Keys == 0 {
+		cfg = DefaultMerkleConfig()
+	}
+	var results []MerkleResult
+	for _, mode := range cfg.Modes {
+		res, err := runMerkleOne(cfg, mode)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: merkle %s: %w", mode, err)
+		}
+		results = append(results, res)
+	}
+	var digest *MerkleResult
+	for i := range results {
+		if results[i].Mode == node.AEModeDigest {
+			digest = &results[i]
+		}
+	}
+	ratio := func(base, v float64) string {
+		if digest == nil || v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fx", base/v)
+	}
+	t := stats.NewTable("E5 — anti-entropy repair cost at 0.01% divergence: scan vs digest vs hash-tree walk",
+		"mode", "keys", "diverged", "sweeps", "time", "bytes", "frames",
+		"tree rounds", "bytes vs digest", "time vs digest")
+	for _, r := range results {
+		var bytesRatio, timeRatio = "-", "-"
+		if digest != nil {
+			bytesRatio = ratio(float64(digest.Bytes), float64(r.Bytes))
+			timeRatio = ratio(float64(digest.Elapsed), float64(r.Elapsed))
+		}
+		t.AddRow(r.Mode, r.Keys, r.Diverged, r.Sweeps,
+			r.Elapsed.Round(time.Microsecond), r.Bytes, r.Frames,
+			r.TreeRounds, bytesRatio, timeRatio)
+	}
+	if cfg.Enforce && digest != nil {
+		for _, r := range results {
+			if r.Mode != node.AEModeTree {
+				continue
+			}
+			if r.Bytes*10 > digest.Bytes {
+				return nil, nil, fmt.Errorf("sim: merkle acceptance: tree bytes %d not 10x under digest %d", r.Bytes, digest.Bytes)
+			}
+			if r.Elapsed*10 > digest.Elapsed {
+				return nil, nil, fmt.Errorf("sim: merkle acceptance: tree time %v not 10x under digest %v", r.Elapsed, digest.Elapsed)
+			}
+		}
+	}
+	return results, t, nil
+}
+
+func runMerkleOne(cfg MerkleConfig, mode string) (MerkleResult, error) {
+	ids := []dot.ID{"e5a", "e5b"}
+	rg := ring.New(16)
+	for _, id := range ids {
+		rg.Add(id)
+	}
+	mech := core.NewDVV()
+
+	// Real sockets: one mux transport + listener per replica, so the
+	// Meter counters measure the actual wire.
+	transports := make([]satTransport, len(ids))
+	for i, id := range ids {
+		tr, err := newSatTransport("mux", id)
+		if err != nil {
+			return MerkleResult{}, err
+		}
+		if err := tr.Listen(); err != nil {
+			return MerkleResult{}, err
+		}
+		defer tr.Close()
+		transports[i] = tr
+	}
+	for i := range transports {
+		for j, id := range ids {
+			if i != j {
+				transports[i].SetAddr(id, transports[j].Addr())
+			}
+		}
+	}
+	nodes := make([]*node.Node, len(ids))
+	for i, id := range ids {
+		nd, err := node.New(node.Config{
+			ID: id, Mech: mech, Transport: transports[i], Ring: rg,
+			N: 2, R: 1, W: 1,
+			Timeout: cfg.Timeout,
+			AEMode:  mode,
+			Seed:    cfg.Seed + int64(i),
+			Addr:    transports[i].Addr(),
+		})
+		if err != nil {
+			return MerkleResult{}, err
+		}
+		defer nd.Close()
+		nodes[i] = nd
+	}
+	a, b := nodes[0], nodes[1]
+
+	// Seed both replicas identically through local store operations, so
+	// nothing crosses the wire before the sweep being measured.
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		key := fmt.Sprintf("e5-%06d", i)
+		if _, err := a.Store().Put(key, mech.EmptyContext(), value,
+			core.WriteInfo{Server: a.ID(), Client: "seed"}); err != nil {
+			return MerkleResult{}, err
+		}
+		st, _ := a.Store().Snapshot(key)
+		if err := b.Store().SyncKey(key, st); err != nil {
+			return MerkleResult{}, err
+		}
+	}
+	// Diverge DiffFrac of the keyspace on a: supersede with a new write.
+	diverged := int(float64(cfg.Keys) * cfg.DiffFrac)
+	for i := 0; i < diverged; i++ {
+		key := fmt.Sprintf("e5-%06d", i*(cfg.Keys/max(diverged, 1)))
+		rr, _ := a.Store().Get(key)
+		if _, err := a.Store().Put(key, rr.Ctx, []byte("diverged"),
+			core.WriteInfo{Server: a.ID(), Client: "div"}); err != nil {
+			return MerkleResult{}, err
+		}
+	}
+
+	rootLevel := antientropy.TreeRootLevel()
+	converged := func() bool {
+		return a.Store().TreeDigest(rootLevel, 0) == b.Store().TreeDigest(rootLevel, 0)
+	}
+	if converged() {
+		return MerkleResult{}, fmt.Errorf("replicas identical before the sweep (diverged=%d)", diverged)
+	}
+
+	bytes0 := transports[0].BytesSent() + transports[1].BytesSent()
+	frames0 := transports[0].MessagesSent() + transports[1].MessagesSent()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+	sweeps := 0
+	for !converged() {
+		if sweeps >= 5 {
+			return MerkleResult{}, fmt.Errorf("not converged after %d sweeps", sweeps)
+		}
+		if err := a.AntiEntropyWith(ctx, b.ID()); err != nil {
+			return MerkleResult{}, err
+		}
+		sweeps++
+	}
+	elapsed := time.Since(start)
+	st := a.Stats()
+	return MerkleResult{
+		Mode:       mode,
+		Keys:       cfg.Keys,
+		Diverged:   diverged,
+		Sweeps:     sweeps,
+		Elapsed:    elapsed,
+		Bytes:      transports[0].BytesSent() + transports[1].BytesSent() - bytes0,
+		Frames:     transports[0].MessagesSent() + transports[1].MessagesSent() - frames0,
+		TreeRounds: st.AETreeRounds,
+		TreeNodes:  st.AETreeNodes,
+	}, nil
+}

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/node"
+)
+
+// TestMerkleAESmoke runs E5 at a reduced size: every mode must converge
+// in one sweep over the real loopback transports, and the tree walk must
+// report its rounds. The ≥10x acceptance ratios are not enforced here —
+// at smoke sizes the flat scans are tiny — only in the full-size run.
+func TestMerkleAESmoke(t *testing.T) {
+	cfg := MerkleConfig{
+		Keys:       4000,
+		DiffFrac:   0.002, // 8 keys
+		ValueBytes: 16,
+		Timeout:    time.Minute,
+		Seed:       5,
+		Modes:      []string{node.AEModeScan, node.AEModeDigest, node.AEModeTree},
+		Enforce:    false,
+	}
+	results, table, err := RunMerkleAE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil || len(results) != len(cfg.Modes) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Sweeps != 1 {
+			t.Fatalf("%s took %d sweeps over a reliable loopback", r.Mode, r.Sweeps)
+		}
+		if r.Bytes == 0 || r.Frames == 0 {
+			t.Fatalf("%s measured no wire traffic: %+v", r.Mode, r)
+		}
+		if r.Mode == node.AEModeTree && r.TreeRounds == 0 {
+			t.Fatalf("tree mode reported no rounds: %+v", r)
+		}
+		if r.Mode != node.AEModeTree && r.TreeRounds != 0 {
+			t.Fatalf("%s mode reported tree rounds: %+v", r.Mode, r)
+		}
+	}
+}

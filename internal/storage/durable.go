@@ -218,7 +218,7 @@ func (s *Store) applyReplay(payload []byte) error {
 		oldMeta = s.mech.MetadataBytes(cur)
 		st = s.mech.Sync(cur, st)
 	}
-	s.install(sh, key, st, existed, oldMeta)
+	s.install(sh, key, st, existed, oldMeta, HashState(s.mech, st))
 	return nil
 }
 
@@ -261,15 +261,21 @@ func (s *Store) InjectFaults(f *Faults) {
 // appendWAL frames (key, post-state) with the shared pooled writer and
 // appends it to the log, blocking until durable. Called with the key's
 // shard lock held, *before* the state is installed — write-ahead order.
-func (s *Store) appendWAL(key string, st core.State) error {
-	w := recordPayload(s.mech, key, st)
+func (s *Store) appendWAL(key string, st core.State) (uint64, error) {
+	w := codec.GetPooledWriter()
+	w.String(key)
+	mark := w.Len()
+	s.mech.EncodeState(w, st)
+	// The record's state bytes are exactly the canonical encoding KeyHash
+	// is defined over — hash them here so install needs no second encode.
+	hash := HashEncoded(w.Bytes()[mark:])
 	err := s.wal.Append(w.Bytes())
 	codec.PutPooledWriter(w)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	s.walAppends.Add(1)
-	return nil
+	return hash, nil
 }
 
 // Checkpoint writes an atomic snapshot of the whole store and truncates

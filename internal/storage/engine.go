@@ -60,6 +60,15 @@ type Engine interface {
 	Siblings(key string) int
 	// KeyHash returns the divergence-detection hash of key's state.
 	KeyHash(key string) uint64
+	// TreeDigest returns the incrementally-maintained Merkle tree hash at
+	// (level, index): level 0 is the antientropy.TreeLeaves leaf buckets,
+	// antientropy.TreeRootLevel() the root. Maintained at every install
+	// site under the shard lock, so reads are cheap — a converged
+	// anti-entropy tick is one root compare, not a keyspace walk.
+	TreeDigest(level, index int) uint64
+	// TreeBucketKeys lists the keys in one Merkle leaf bucket, sorted, in
+	// O(bucket members) — the descent's final step when a leaf differs.
+	TreeBucketKeys(bucket int) []string
 	// EncodeKey appends key's state to w; reports whether the key existed.
 	EncodeKey(key string, w *codec.Writer) bool
 

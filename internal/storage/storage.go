@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/antientropy"
 	"repro/internal/codec"
 	"repro/internal/core"
 )
@@ -40,6 +41,16 @@ const DefaultShards = 64
 type shard struct {
 	mu   sync.RWMutex
 	data map[string]core.State
+	// hashes caches each key's KeyHash (the FNV of its canonical state
+	// encoding), maintained at install time so KeyHash is an O(1) lookup
+	// instead of an encode per call — the cost anti-entropy used to pay
+	// for every key on every tick.
+	hashes map[string]uint64
+	// buckets indexes this shard's keys by Merkle leaf bucket
+	// (append-only: keys are never deleted), so TreeBucketKeys lists a
+	// divergent bucket's members in O(members) instead of filtering the
+	// whole keyspace.
+	buckets map[int][]string
 }
 
 // Store is a replica's local key-value state under one mechanism. Stores
@@ -60,6 +71,13 @@ type Store struct {
 	// tick used to pay an O(shards·keys) scan for them.
 	keyCount  atomic.Int64
 	metaBytes atomic.Int64
+
+	// tree is the incrementally-maintained Merkle tree over key-state
+	// hashes, updated at the same install sites (leaf XOR deltas are
+	// lock-free, applied from inside the shard critical section), so
+	// anti-entropy reads TreeDigest instead of rebuilding a digest from
+	// every key.
+	tree *antientropy.Tree
 
 	// durability (nil wal = in-memory store); see durable.go.
 	wal         *WAL
@@ -90,9 +108,12 @@ func NewSharded(mech core.Mechanism, shards int) *Store {
 		mech:   mech,
 		shards: make([]shard, n),
 		mask:   uint64(n - 1),
+		tree:   antientropy.NewTree(),
 	}
 	for i := range s.shards {
 		s.shards[i].data = make(map[string]core.State)
+		s.shards[i].hashes = make(map[string]uint64)
+		s.shards[i].buckets = make(map[int][]string)
 	}
 	return s
 }
@@ -160,25 +181,35 @@ func (s *Store) Put(key string, ctx core.Context, value []byte, w core.WriteInfo
 	if err != nil {
 		return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
 	}
+	var hash uint64
 	if s.wal != nil {
-		if err := s.appendWAL(key, ns); err != nil {
+		if hash, err = s.appendWAL(key, ns); err != nil {
 			return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
 		}
+	} else {
+		hash = HashState(s.mech, ns)
 	}
-	s.install(sh, key, ns, ok, oldMeta)
+	s.install(sh, key, ns, ok, oldMeta, hash)
 	s.puts.Add(1)
 	return s.mech.Read(ns), nil
 }
 
 // install writes st into the shard map and keeps the O(1) key and
-// metadata counters in step. Called with the shard lock held; existed and
-// oldMeta describe the entry being replaced.
-func (s *Store) install(sh *shard, key string, st core.State, existed bool, oldMeta int) {
+// metadata counters, the per-key hash cache and the Merkle tree in step.
+// Called with the shard lock held; existed and oldMeta describe the entry
+// being replaced; hash is st's KeyHash (callers compute it from bytes
+// they already encoded where possible).
+func (s *Store) install(sh *shard, key string, st core.State, existed bool, oldMeta int, hash uint64) {
+	old := sh.hashes[key]
 	sh.data[key] = st
+	sh.hashes[key] = hash
 	if !existed {
 		s.keyCount.Add(1)
+		b := antientropy.TreeBucketOf(key)
+		sh.buckets[b] = append(sh.buckets[b], key)
 	}
 	s.metaBytes.Add(int64(s.mech.MetadataBytes(st) - oldMeta))
+	s.tree.Update(key, old, existed, hash)
 }
 
 // SyncKey merges a remote state for key into the local one (replication
@@ -206,6 +237,7 @@ func (s *Store) SyncKey(key string, remote core.State) error {
 	if !ok && s.mech.Siblings(merged) == 0 && s.mech.MetadataBytes(merged) == 0 {
 		return nil
 	}
+	var hash uint64
 	if s.wal != nil {
 		// Frame the WAL record (the canonical key+state payload of
 		// record.go, laid out inline so the state's start is known); the
@@ -227,14 +259,17 @@ func (s *Store) SyncKey(key string, remote core.State) error {
 			codec.PutPooledWriter(w)
 			return nil // no-op merge: nothing new to persist or install
 		}
+		hash = HashEncoded(w.Bytes()[mark:]) // reuse the WAL record's state bytes
 		err := s.wal.Append(w.Bytes())
 		codec.PutPooledWriter(w)
 		if err != nil {
 			return fmt.Errorf("storage: sync %q: %w", key, err)
 		}
 		s.walAppends.Add(1)
+	} else {
+		hash = HashState(s.mech, merged)
 	}
-	s.install(sh, key, merged, ok, oldMeta)
+	s.install(sh, key, merged, ok, oldMeta, hash)
 	s.syncs.Add(1)
 	return nil
 }
@@ -346,21 +381,34 @@ func HashState(m core.Mechanism, st core.State) uint64 {
 
 // KeyHash returns a stable hash of key's encoded state, used by
 // anti-entropy to detect replica divergence cheaply. Missing keys hash to
-// 0.
+// 0. O(1): the hash is cached at install time, not recomputed per call.
 func (s *Store) KeyHash(key string) uint64 {
 	sh := s.shardFor(key)
 	sh.mu.RLock()
-	st, ok := sh.data[key]
-	if !ok {
-		sh.mu.RUnlock()
-		return 0
-	}
-	w := codec.GetPooledWriter()
-	s.mech.EncodeState(w, st)
+	h := sh.hashes[key]
 	sh.mu.RUnlock()
-	h := HashEncoded(w.Bytes())
-	codec.PutPooledWriter(w)
 	return h
+}
+
+// TreeDigest returns the Merkle tree hash at (level, index) — level 0 is
+// the leaf layer, antientropy.TreeRootLevel() the root. A converged
+// anti-entropy tick is one root compare instead of a keyspace walk.
+func (s *Store) TreeDigest(level, index int) uint64 {
+	return s.tree.Digest(level, index)
+}
+
+// TreeBucketKeys returns the keys in one Merkle leaf bucket, sorted —
+// O(bucket members + shards), via the per-shard bucket index.
+func (s *Store) TreeBucketKeys(bucket int) []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out = append(out, sh.buckets[bucket]...)
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
 }
 
 // EncodeKey appends key's state to w; reports whether the key existed.
@@ -453,8 +501,10 @@ func (s *Store) Save(w io.Writer) error {
 // middle of the image.
 func (s *Store) Load(r io.Reader) (torn int64, err error) {
 	fresh := make([]map[string]core.State, len(s.shards))
+	freshHash := make([]map[string]uint64, len(s.shards))
 	for i := range fresh {
 		fresh[i] = make(map[string]core.State)
+		freshHash[i] = make(map[string]uint64)
 	}
 	br := newByteReader(r)
 	var good int64 // offset just past the last intact record
@@ -474,7 +524,13 @@ func (s *Store) Load(r io.Reader) (torn int64, err error) {
 		if derr != nil {
 			return 0, fmt.Errorf("storage: load key %q: %w (%w)", key, derr, ErrCorruptRecord)
 		}
-		fresh[fnv64a(key)&s.mask][key] = st
+		idx := fnv64a(key) & s.mask
+		fresh[idx][key] = st
+		// The record's state bytes are already canonical — hash them
+		// directly instead of re-encoding the decoded state.
+		fr := codec.NewReader(frame)
+		_ = fr.String() // skip the key field
+		freshHash[idx][key] = HashEncoded(frame[len(frame)-fr.Remaining():])
 		good += 4 + int64(len(frame))
 	}
 	var keys, meta int64
@@ -484,10 +540,21 @@ func (s *Store) Load(r io.Reader) (torn int64, err error) {
 			meta += int64(s.mech.MetadataBytes(st))
 		}
 	}
+	// Load replaces the whole content, so the tree and bucket index are
+	// rebuilt from scratch (Load runs at recovery time, before concurrent
+	// use — openStore replays the WAL over it afterwards through install).
+	s.tree.Reset()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.data = fresh[i]
+		sh.hashes = freshHash[i]
+		sh.buckets = make(map[int][]string)
+		for k, h := range freshHash[i] {
+			b := antientropy.TreeBucketOf(k)
+			sh.buckets[b] = append(sh.buckets[b], k)
+			s.tree.Update(k, 0, false, h)
+		}
 		sh.mu.Unlock()
 	}
 	s.keyCount.Store(keys)

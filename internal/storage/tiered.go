@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/antientropy"
 	"repro/internal/codec"
 	"repro/internal/core"
 )
@@ -45,6 +46,7 @@ type tentry struct {
 	st    core.State // nil = cold
 	size  int        // encoded record payload bytes (key + state)
 	meta  int        // mechanism MetadataBytes of the current state
+	hash  uint64     // KeyHash of the current state — resident, so AE never faults
 	dirty bool       // in-memory state newer than ref's segment copy
 	ref   segRef
 	prev  *tentry
@@ -52,10 +54,13 @@ type tentry struct {
 }
 
 // tshard is one lock domain of the tiered engine: the key index plus the
-// LRU of hot entries (head = most recent) and their byte total.
+// LRU of hot entries (head = most recent) and their byte total. buckets
+// indexes the shard's keys by Merkle leaf (append-only; keys are never
+// deleted) for O(members) divergent-bucket listing.
 type tshard struct {
 	mu       sync.Mutex
 	entries  map[string]*tentry
+	buckets  map[int][]string
 	head     *tentry
 	tail     *tentry
 	hotBytes int64
@@ -116,6 +121,11 @@ type Tiered struct {
 	recovery RecoveryInfo
 	ckptMu   sync.Mutex
 
+	// tree is the incremental Merkle tree over key-state hashes; with
+	// every entry's hash resident in the index, a diff-free anti-entropy
+	// tick reads the root and touches no segment.
+	tree *antientropy.Tree
+
 	puts, gets, syncs atomic.Uint64
 	hits, misses      atomic.Uint64
 	spills, faults    atomic.Uint64
@@ -156,9 +166,11 @@ func openTiered(mech core.Mechanism, o Options) (*Tiered, error) {
 		shards: make([]tshard, n),
 		mask:   uint64(n - 1),
 		budget: budget / int64(n),
+		tree:   antientropy.NewTree(),
 	}
 	for i := range t.shards {
 		t.shards[i].entries = make(map[string]*tentry)
+		t.shards[i].buckets = make(map[int][]string)
 	}
 
 	lf, err := lockDir(o.Dir)
@@ -195,11 +207,22 @@ func openTiered(mech core.Mechanism, o Options) (*Tiered, error) {
 			}
 			sh := t.shardFor(key)
 			e := sh.entries[key]
-			if e == nil {
+			existed := e != nil
+			if !existed {
 				e = &tentry{key: key}
 				sh.entries[key] = e
 				t.keyCount.Add(1)
+				b := antientropy.TreeBucketOf(key)
+				sh.buckets[b] = append(sh.buckets[b], key)
 			}
+			// Hash the record's state bytes (already canonical) so the
+			// index — and through it the Merkle tree — carries every key's
+			// KeyHash without a decode or a later segment read.
+			pr := codec.NewReader(payload)
+			_ = pr.String() // skip the key field
+			h := HashEncoded(payload[len(payload)-pr.Remaining():])
+			t.tree.Update(key, e.hash, existed, h)
+			e.hash = h
 			t.metaBytes.Add(int64(mech.MetadataBytes(st) - e.meta))
 			e.meta = mech.MetadataBytes(st)
 			e.size = len(payload)
@@ -388,22 +411,29 @@ func (t *Tiered) evict(sh *tshard, keep *tentry) {
 }
 
 // installHot makes st the key's current state: hot, dirty, front of the
-// LRU, all counters in step. Called with the shard lock held; size is the
-// encoded record payload length (already computed by every caller for the
-// WAL append). Returns the entry for the evict(keep) call.
-func (t *Tiered) installHot(sh *tshard, key string, st core.State, size, meta int) *tentry {
+// LRU, all counters plus the Merkle tree in step. Called with the shard
+// lock held; size is the encoded record payload length and hash the
+// state's KeyHash (both already computed by every caller for the WAL
+// append). Returns the entry for the evict(keep) call.
+func (t *Tiered) installHot(sh *tshard, key string, st core.State, size, meta int, hash uint64) *tentry {
 	e := sh.entries[key]
 	if e == nil {
 		e = &tentry{key: key}
 		sh.entries[key] = e
 		t.keyCount.Add(1)
-	} else if e.st != nil {
-		sh.unlink(e)
-		sh.hotBytes -= int64(e.size)
-		t.cacheBytes.Add(-int64(e.size))
+		b := antientropy.TreeBucketOf(key)
+		sh.buckets[b] = append(sh.buckets[b], key)
+		t.tree.Update(key, 0, false, hash)
+	} else {
+		t.tree.Update(key, e.hash, true, hash)
+		if e.st != nil {
+			sh.unlink(e)
+			sh.hotBytes -= int64(e.size)
+			t.cacheBytes.Add(-int64(e.size))
+		}
 	}
 	t.metaBytes.Add(int64(meta - e.meta))
-	e.st, e.size, e.meta, e.dirty = st, size, meta, true
+	e.st, e.size, e.meta, e.hash, e.dirty = st, size, meta, hash, true
 	sh.pushFront(e)
 	sh.hotBytes += int64(size)
 	t.cacheBytes.Add(int64(size))
@@ -456,7 +486,11 @@ func (t *Tiered) Put(key string, ctx core.Context, value []byte, w core.WriteInf
 	if err != nil {
 		return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
 	}
-	pw := recordPayload(t.mech, key, ns)
+	pw := codec.GetPooledWriter()
+	pw.String(key)
+	mark := pw.Len()
+	t.mech.EncodeState(pw, ns)
+	hash := HashEncoded(pw.Bytes()[mark:])
 	if err := t.wal.Append(pw.Bytes()); err != nil {
 		codec.PutPooledWriter(pw)
 		return core.ReadResult{}, fmt.Errorf("storage: put %q: %w", key, err)
@@ -464,7 +498,7 @@ func (t *Tiered) Put(key string, ctx core.Context, value []byte, w core.WriteInf
 	t.walAppends.Add(1)
 	size := pw.Len()
 	codec.PutPooledWriter(pw)
-	kept := t.installHot(sh, key, ns, size, t.mech.MetadataBytes(ns))
+	kept := t.installHot(sh, key, ns, size, t.mech.MetadataBytes(ns), hash)
 	t.evict(sh, kept)
 	t.puts.Add(1)
 	return t.mech.Read(ns), nil
@@ -507,6 +541,7 @@ func (t *Tiered) SyncKey(key string, remote core.State) error {
 		codec.PutPooledWriter(w)
 		return nil
 	}
+	hash := HashEncoded(w.Bytes()[mark:])
 	if err := t.wal.Append(w.Bytes()); err != nil {
 		codec.PutPooledWriter(w)
 		return fmt.Errorf("storage: sync %q: %w", key, err)
@@ -514,7 +549,7 @@ func (t *Tiered) SyncKey(key string, remote core.State) error {
 	t.walAppends.Add(1)
 	size := w.Len()
 	codec.PutPooledWriter(w)
-	kept := t.installHot(sh, key, merged, size, t.mech.MetadataBytes(merged))
+	kept := t.installHot(sh, key, merged, size, t.mech.MetadataBytes(merged), hash)
 	t.evict(sh, kept)
 	t.syncs.Add(1)
 	return nil
@@ -533,6 +568,7 @@ func (t *Tiered) applyReplay(payload []byte) error {
 	defer sh.mu.Unlock()
 	e := sh.entries[key]
 	size := len(payload)
+	var hash uint64
 	if e != nil {
 		if e.st == nil {
 			if err := t.faultIn(sh, e); err != nil {
@@ -540,11 +576,19 @@ func (t *Tiered) applyReplay(payload []byte) error {
 			}
 		}
 		st = t.mech.Sync(e.st, st)
-		w := recordPayload(t.mech, key, st)
+		w := codec.GetPooledWriter()
+		w.String(key)
+		mark := w.Len()
+		t.mech.EncodeState(w, st)
 		size = w.Len()
+		hash = HashEncoded(w.Bytes()[mark:])
 		codec.PutPooledWriter(w)
+	} else {
+		pr := codec.NewReader(payload)
+		_ = pr.String()
+		hash = HashEncoded(payload[len(payload)-pr.Remaining():])
 	}
-	kept := t.installHot(sh, key, st, size, t.mech.MetadataBytes(st))
+	kept := t.installHot(sh, key, st, size, t.mech.MetadataBytes(st), hash)
 	t.evict(sh, kept)
 	return nil
 }
@@ -617,24 +661,39 @@ func (t *Tiered) Siblings(key string) int {
 }
 
 // KeyHash returns the divergence-detection hash of key's canonical state
-// encoding. Cold keys hash the raw segment bytes — the encoding is
-// deterministic, so no decode round-trip is needed.
+// encoding. The hash is resident in the index entry (maintained at every
+// install and recovery-scan site), so this is O(1) and — critically for
+// anti-entropy over a mostly-cold keyspace — never reads a segment: a
+// diff-free AE tick does zero segment I/O. (It used to pay one segment
+// read per cold key per tick.)
 func (t *Tiered) KeyHash(key string) uint64 {
 	sh := t.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.entries[key]
-	if e == nil {
-		return 0
+	if e := sh.entries[key]; e != nil {
+		return e.hash
 	}
-	if e.st != nil {
-		w := codec.GetPooledWriter()
-		t.mech.EncodeState(w, e.st)
-		h := HashEncoded(w.Bytes())
-		codec.PutPooledWriter(w)
-		return h
+	return 0
+}
+
+// TreeDigest returns the Merkle tree hash at (level, index); see
+// Store.TreeDigest.
+func (t *Tiered) TreeDigest(level, index int) uint64 {
+	return t.tree.Digest(level, index)
+}
+
+// TreeBucketKeys returns the keys in one Merkle leaf bucket, sorted. The
+// bucket index is resident, so no segment I/O.
+func (t *Tiered) TreeBucketKeys(bucket int) []string {
+	var out []string
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.buckets[bucket]...)
+		sh.mu.Unlock()
 	}
-	return HashEncoded(t.coldStateBytes(e))
+	sort.Strings(out)
+	return out
 }
 
 // EncodeKey appends key's canonical state encoding to w; cold keys copy
