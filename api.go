@@ -6,6 +6,7 @@ import (
 	"repro/internal/dot"
 	idvv "repro/internal/dvv"
 	"repro/internal/dvvset"
+	"repro/internal/node"
 	"repro/internal/storage"
 	"repro/internal/vv"
 )
@@ -131,11 +132,57 @@ const (
 // Client is a session-holding store client.
 type Client = cluster.Client
 
+// Session enforces session guarantees (read-your-writes, monotonic
+// reads) on top of a Client: every request carries the session's
+// accumulated causal context as a floor the coordinator must reach
+// before answering.
+type Session = cluster.Session
+
+// Token is the opaque causal-context token a read returns and a write
+// accepts (Riak's vclock shape) — causality that survives any medium
+// carrying bytes.
+type Token = cluster.Token
+
 // Routing policies for clients.
 const (
 	RouteCoordinator = cluster.RouteCoordinator
 	RouteRandom      = cluster.RouteRandom
+	RouteOwner       = cluster.RouteOwner
 )
+
+// ReadOptions / WriteOptions carry per-request consistency knobs
+// (consistency level or explicit R/W override, not-found handling, the
+// write's causal context, the session floor). The zero value defers to
+// the cluster's configured quorums.
+type (
+	ReadOptions  = node.ReadOptions
+	WriteOptions = node.WriteOptions
+)
+
+// Level is a per-request consistency level for ReadOptions/WriteOptions.
+type Level = node.Level
+
+// Per-request consistency levels.
+const (
+	// LevelDefault uses the cluster's configured R/W quorum.
+	LevelDefault = node.LevelDefault
+	// LevelOne acks after a single replica — for reads, the coordinator
+	// answers from its own store with zero replica round trips when the
+	// session floor allows.
+	LevelOne = node.LevelOne
+	// LevelQuorum requires a majority of N.
+	LevelQuorum = node.LevelQuorum
+	// LevelAll requires every preference-list member.
+	LevelAll = node.LevelAll
+)
+
+// ParseLevel parses the CLI spelling of a consistency level
+// ("one", "quorum", "all", "default" or empty).
+func ParseLevel(s string) (Level, error) { return node.ParseLevel(s) }
+
+// IsNotFound reports whether err is a strict read's not-found error
+// (a get with ReadOptions.NotFoundOK unset that found no value).
+func IsNotFound(err error) bool { return node.IsNotFound(err) }
 
 // NewCluster builds and starts a cluster of replica nodes.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }

@@ -17,6 +17,7 @@
 //	dvvbench -experiment nemesis        # E4: partition convergence under a fault-injecting nemesis
 //	dvvbench -experiment tiered         # D4: bounded-memory tiered engine vs all-memory
 //	dvvbench -experiment merkle         # E5: anti-entropy repair cost, scan vs digest vs hash-tree walk
+//	dvvbench -experiment sessions       # E6: causal sessions + per-request consistency levels
 //	dvvbench -churn                     # shorthand for -experiment churn
 //	dvvbench -experiment nemesis -seed 7  # any experiment, reproducible fault/workload schedule
 //	dvvbench -experiment riak -csv      # CSV instead of aligned text
@@ -44,7 +45,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|nemesis|tiered|merkle|all")
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|nemesis|tiered|merkle|sessions|all")
 		churn      = fs.Bool("churn", false, "shorthand for -experiment churn (elastic membership scenario)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
@@ -201,6 +202,17 @@ func run(args []string) error {
 				return err
 			}
 			emit(table)
+		case "sessions":
+			cfg := sim.DefaultSessionsConfig()
+			cfg.Seed = *seed
+			if *nodes > 0 {
+				cfg.Nodes = *nodes
+			}
+			_, table, err := sim.RunSessions(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
 		case "nemesis":
 			cfg := sim.DefaultNemesisConfig()
 			cfg.Seed = *seed
@@ -242,7 +254,7 @@ func run(args []string) error {
 		*experiment = "churn"
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate", "nemesis", "merkle"} {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate", "nemesis", "merkle", "sessions"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -37,7 +37,6 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dot"
 	"repro/internal/node"
@@ -238,10 +237,13 @@ func clientTransport(kind, addr string) (netTransport, dot.ID, error) {
 func clientGet(args []string) error {
 	fs := flag.NewFlagSet("get", flag.ContinueOnError)
 	var (
-		addr  = fs.String("addr", "127.0.0.1:7001", "any node address")
-		key   = fs.String("key", "", "key to read")
-		mech  = fs.String("mechanism", "dvv", "mechanism the cluster runs")
-		trans = fs.String("transport", "mux", "wire transport the cluster speaks (mux|lockstep)")
+		addr   = fs.String("addr", "127.0.0.1:7001", "any node address")
+		key    = fs.String("key", "", "key to read")
+		level  = fs.String("consistency", "", "read consistency level: one, quorum, all or default (the node's configured R)")
+		nfOK   = fs.Bool("notfound-ok", true, "treat a missing key as an empty success; with =false a miss is an error")
+		ctxHex = fs.String("context", "", "session floor (hex context from a previous get/put): the read blocks until the answer dominates it")
+		mech   = fs.String("mechanism", "dvv", "mechanism the cluster runs")
+		trans  = fs.String("transport", "mux", "wire transport the cluster speaks (mux|lockstep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -253,6 +255,18 @@ func clientGet(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown mechanism %q", *mech)
 	}
+	lvl, err := node.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+	opts := node.ReadOptions{Level: lvl, NotFoundOK: *nfOK}
+	if *ctxHex != "" {
+		sess, err := decodeHexContext(m, *ctxHex)
+		if err != nil {
+			return fmt.Errorf("get: bad -context: %w", err)
+		}
+		opts.Session = sess
+	}
 	t, server, err := clientTransport(*trans, *addr)
 	if err != nil {
 		return err
@@ -261,7 +275,7 @@ func clientGet(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	resp, err := t.Send(ctx, "cli", server, transport.Request{
-		Method: node.MethodGet, Body: node.EncodeGetRequest(*key),
+		Method: node.MethodGet, Body: node.EncodeGetRequest(m, *key, opts),
 	})
 	if err != nil {
 		return err
@@ -279,10 +293,19 @@ func clientGet(args []string) error {
 	for i, v := range rr.Values {
 		fmt.Printf("value[%d]: %s\n", i, v)
 	}
-	w := codec.NewWriter(64)
-	m.EncodeContext(w, rr.Ctx)
-	fmt.Printf("context: %s\n", hex.EncodeToString(w.Bytes()))
+	fmt.Printf("context: %s\n", hex.EncodeToString(node.EncodeContextToken(m, rr.Ctx)))
 	return nil
+}
+
+// decodeHexContext parses the hex token printed by get/put ("context:"
+// lines) back into a mechanism context — exactly the bytes the token
+// carries, so get output and put/get input round-trip verbatim.
+func decodeHexContext(m core.Mechanism, s string) (core.Context, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	return node.DecodeContextToken(m, raw)
 }
 
 func clientPut(args []string) error {
@@ -292,6 +315,7 @@ func clientPut(args []string) error {
 		key    = fs.String("key", "", "key to write")
 		value  = fs.String("value", "", "value to write")
 		ctxHex = fs.String("context", "", "causal context from a previous get (hex); empty = blind write")
+		level  = fs.String("consistency", "", "write consistency level: one, quorum, all or default (the node's configured W)")
 		client = fs.String("client", "cli", "client identity")
 		mech   = fs.String("mechanism", "dvv", "mechanism the cluster runs")
 		trans  = fs.String("transport", "mux", "wire transport the cluster speaks (mux|lockstep)")
@@ -306,17 +330,17 @@ func clientPut(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown mechanism %q", *mech)
 	}
-	wctx := m.EmptyContext()
+	lvl, err := node.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+	opts := node.WriteOptions{Level: lvl}
 	if *ctxHex != "" {
-		raw, err := hex.DecodeString(*ctxHex)
+		wctx, err := decodeHexContext(m, *ctxHex)
 		if err != nil {
 			return fmt.Errorf("put: bad -context: %w", err)
 		}
-		r := codec.NewReader(raw)
-		wctx, err = m.DecodeContext(r)
-		if err != nil {
-			return fmt.Errorf("put: bad -context: %w", err)
-		}
+		opts.Context = wctx
 	}
 	t, server, err := clientTransport(*trans, *addr)
 	if err != nil {
@@ -327,7 +351,7 @@ func clientPut(args []string) error {
 	defer cancel()
 	resp, err := t.Send(ctx, dot.ID(*client), server, transport.Request{
 		Method: node.MethodPut,
-		Body:   node.EncodePutRequest(m, *key, wctx, []byte(*value), dot.ID(*client)),
+		Body:   node.EncodePutRequest(m, *key, []byte(*value), dot.ID(*client), opts),
 	})
 	if err != nil {
 		return err
@@ -340,9 +364,7 @@ func clientPut(args []string) error {
 		return err
 	}
 	fmt.Printf("ok: %d sibling(s) after write\n", len(rr.Values))
-	w := codec.NewWriter(64)
-	m.EncodeContext(w, rr.Ctx)
-	fmt.Printf("context: %s\n", hex.EncodeToString(w.Bytes()))
+	fmt.Printf("context: %s\n", hex.EncodeToString(node.EncodeContextToken(m, rr.Ctx)))
 	return nil
 }
 
@@ -372,5 +394,6 @@ func clientStats(args []string) error {
 		return err
 	}
 	fmt.Printf("%+v\n", st)
+	fmt.Printf("sessions: waits=%d retries=%d\n", st.SessionWaits, st.SessionRetries)
 	return nil
 }

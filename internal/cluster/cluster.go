@@ -544,58 +544,108 @@ func (cl *Client) adopt(key string, ctx core.Context) error {
 	return nil
 }
 
+// Token is the opaque causal-context token a read returns and a write
+// accepts — a core.Context in its canonical wire encoding (Riak's vclock
+// shape). Clients that hold tokens instead of live Client sessions can
+// round-trip causality through any medium that carries bytes.
+type Token []byte
+
+// Context decodes the token back into the cluster's mechanism context.
+// A nil token is the empty context.
+func (c *Cluster) Context(t Token) (core.Context, error) {
+	return node.DecodeContextToken(c.mech, t)
+}
+
+// Token encodes a context as an opaque token.
+func (c *Cluster) Token(ctx core.Context) Token {
+	return node.EncodeContextToken(c.mech, ctx)
+}
+
 // Get reads key: it returns the concurrent sibling values and folds the
-// causal context into the client's session.
+// causal context into the client's session. Missing keys read as zero
+// siblings (Riak's notfound_ok), at the cluster's configured quorum.
 func (cl *Client) Get(ctx context.Context, key string) ([][]byte, error) {
+	vals, _, err := cl.GetWith(ctx, key, node.ReadOptions{NotFoundOK: true})
+	return vals, err
+}
+
+// GetWith reads key with explicit per-request options, returning the
+// sibling values and the opaque causal-context token covering them. The
+// context is also folded into the client's session, so later Put calls
+// supersede what this read observed.
+func (cl *Client) GetWith(ctx context.Context, key string, opts node.ReadOptions) ([][]byte, Token, error) {
 	to, err := cl.target(key)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cctx, cancel := context.WithTimeout(ctx, cl.cluster.timeout)
 	defer cancel()
 	resp, err := cl.cluster.Transport.Send(cctx, cl.ID, to, transport.Request{
-		Method: node.MethodGet, Body: node.EncodeGetRequest(key),
+		Method: node.MethodGet, Body: node.EncodeGetRequest(cl.cluster.mech, key, opts),
 	})
 	if err != nil {
-		return nil, fmt.Errorf("cluster: get %q: %w", key, err)
+		return nil, nil, fmt.Errorf("cluster: get %q: %w", key, err)
 	}
 	if aerr := transport.AppError(resp); aerr != nil {
-		return nil, fmt.Errorf("cluster: get %q: %w", key, aerr)
+		return nil, nil, fmt.Errorf("cluster: get %q: %w", key, aerr)
 	}
 	rr, err := node.DecodeReadResult(cl.cluster.mech, resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: get %q: %w", key, err)
+		return nil, nil, fmt.Errorf("cluster: get %q: %w", key, err)
 	}
 	if err := cl.adopt(key, rr.Ctx); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return rr.Values, nil
+	return rr.Values, cl.cluster.Token(rr.Ctx), nil
 }
 
 // Put writes value under key using the session's causal context (write
 // without re-reading; races surface as siblings on later reads).
 func (cl *Client) Put(ctx context.Context, key string, value []byte) error {
+	_, err := cl.PutWith(ctx, key, value, nil, node.WriteOptions{})
+	return err
+}
+
+// PutWith writes value under key with explicit per-request options. A
+// non-nil token supplies the causal context (overriding opts.Context);
+// with both nil the client's accumulated session context is used. The
+// returned token covers the post-write state (Riak's return_body), and is
+// also folded into the session.
+func (cl *Client) PutWith(ctx context.Context, key string, value []byte, token Token, opts node.WriteOptions) (Token, error) {
+	if token != nil {
+		wctx, err := cl.cluster.Context(token)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: put %q: %w", key, err)
+		}
+		opts.Context = wctx
+	}
+	if opts.Context == nil {
+		opts.Context = cl.session(key)
+	}
 	to, err := cl.target(key)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cctx, cancel := context.WithTimeout(ctx, cl.cluster.timeout)
 	defer cancel()
 	resp, err := cl.cluster.Transport.Send(cctx, cl.ID, to, transport.Request{
 		Method: node.MethodPut,
-		Body:   node.EncodePutRequest(cl.cluster.mech, key, cl.session(key), value, cl.ID),
+		Body:   node.EncodePutRequest(cl.cluster.mech, key, value, cl.ID, opts),
 	})
 	if err != nil {
-		return fmt.Errorf("cluster: put %q: %w", key, err)
+		return nil, fmt.Errorf("cluster: put %q: %w", key, err)
 	}
 	if aerr := transport.AppError(resp); aerr != nil {
-		return fmt.Errorf("cluster: put %q: %w", key, aerr)
+		return nil, fmt.Errorf("cluster: put %q: %w", key, aerr)
 	}
 	rr, err := node.DecodeReadResult(cl.cluster.mech, resp.Body)
 	if err != nil {
-		return fmt.Errorf("cluster: put %q: %w", key, err)
+		return nil, fmt.Errorf("cluster: put %q: %w", key, err)
 	}
-	return cl.adopt(key, rr.Ctx)
+	if err := cl.adopt(key, rr.Ctx); err != nil {
+		return nil, err
+	}
+	return cl.cluster.Token(rr.Ctx), nil
 }
 
 // Update is the read-modify-write convenience: Get, apply f to the sibling
@@ -612,4 +662,77 @@ func (cl *Client) Update(ctx context.Context, key string, f func(siblings [][]by
 // fresh client that presents no context — the racing blind writer).
 func (cl *Client) ForgetSession(key string) {
 	delete(cl.sessions, key)
+}
+
+// ---------------------------------------------------------------------------
+// Causal sessions.
+// ---------------------------------------------------------------------------
+
+// Session enforces session guarantees — read-your-writes and monotonic
+// reads — on top of a Client. Where a plain Client merely *carries* its
+// accumulated causal context (so its writes supersede its reads), a
+// Session also presents that context as a floor on every request: the
+// coordinator must not answer a Get until its merged state dominates
+// everything this session has seen, re-reading replicas until it does.
+// Reads at LevelOne against a converged key still cost zero extra replica
+// round trips (Stats.SessionWaits/SessionRetries stay 0).
+//
+// Like Client, a Session is not safe for concurrent use; create one per
+// goroutine.
+type Session struct {
+	cl *Client
+}
+
+// NewSession creates a causal session bound to a fresh client identity.
+func (c *Cluster) NewSession(id dot.ID, policy RoutingPolicy) *Session {
+	return &Session{cl: c.NewClient(id, policy)}
+}
+
+// Session wraps an existing client in session-guarantee enforcement.
+// The session shares (and extends) the client's accumulated context.
+func (cl *Client) Session() *Session { return &Session{cl: cl} }
+
+// Client returns the underlying client (shared context state).
+func (s *Session) Client() *Client { return s.cl }
+
+// Get reads key under the session floor at the default level.
+func (s *Session) Get(ctx context.Context, key string) ([][]byte, Token, error) {
+	return s.GetWith(ctx, key, node.ReadOptions{NotFoundOK: true})
+}
+
+// GetWith reads key under the session floor with explicit options
+// (opts.Session is overwritten with the session's accumulated context).
+func (s *Session) GetWith(ctx context.Context, key string, opts node.ReadOptions) ([][]byte, Token, error) {
+	opts.Session = s.cl.session(key)
+	return s.cl.GetWith(ctx, key, opts)
+}
+
+// Put writes value using the session's context both as the write context
+// (superseding every sibling the session has read) and as the coordinator
+// floor (the write cannot apply on a replica that has not caught up with
+// the session's causal past).
+func (s *Session) Put(ctx context.Context, key string, value []byte) (Token, error) {
+	return s.PutWith(ctx, key, value, node.WriteOptions{})
+}
+
+// PutWith writes value under the session floor with explicit options
+// (opts.Context defaults to the session context; opts.Session is
+// overwritten with it).
+func (s *Session) PutWith(ctx context.Context, key string, value []byte, opts node.WriteOptions) (Token, error) {
+	sess := s.cl.session(key)
+	if opts.Context == nil {
+		opts.Context = sess
+	}
+	opts.Session = sess
+	return s.cl.PutWith(ctx, key, value, nil, opts)
+}
+
+// Update is the read-modify-write convenience under session guarantees.
+func (s *Session) Update(ctx context.Context, key string, f func(siblings [][]byte) []byte) error {
+	siblings, _, err := s.Get(ctx, key)
+	if err != nil {
+		return err
+	}
+	_, err = s.Put(ctx, key, f(siblings))
+	return err
 }

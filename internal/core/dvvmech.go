@@ -52,6 +52,18 @@ func (dvvMech) JoinContexts(a, b Context) (Context, error) {
 	return vv.Join(va, vb), nil
 }
 
+func (dvvMech) DescendsContext(a, b Context) (bool, error) {
+	va, err := ctxOrErr[vv.VV]("dvv", a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := ctxOrErr[vv.VV]("dvv", b)
+	if err != nil {
+		return false, err
+	}
+	return va.Descends(vb), nil
+}
+
 func (dvvMech) Read(s State) ReadResult {
 	st := mustState[DVVState]("dvv", s)
 	vals := make([][]byte, len(st))

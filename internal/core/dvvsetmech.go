@@ -37,6 +37,18 @@ func (dvvsetMech) JoinContexts(a, b Context) (Context, error) {
 	return vv.Join(va, vb), nil
 }
 
+func (dvvsetMech) DescendsContext(a, b Context) (bool, error) {
+	va, err := ctxOrErr[vv.VV]("dvvset", a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := ctxOrErr[vv.VV]("dvvset", b)
+	if err != nil {
+		return false, err
+	}
+	return va.Descends(vb), nil
+}
+
 func (dvvsetMech) Read(s State) ReadResult {
 	st := mustState[*dvvset.Set[[]byte]]("dvvset", s)
 	return ReadResult{Values: st.Values(), Ctx: st.Join()}

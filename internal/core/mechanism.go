@@ -91,6 +91,13 @@ type Mechanism interface {
 	// and the fresh read. Inputs are not modified.
 	JoinContexts(a, b Context) (Context, error)
 
+	// DescendsContext reports whether a covers b: every event b has seen
+	// is in a's causal past. Coordinators use it to enforce session
+	// floors — a read satisfies a session iff the context it returns
+	// descends the context the session presented. Inputs are not
+	// modified.
+	DescendsContext(a, b Context) (bool, error)
+
 	// EncodeState / DecodeState round-trip the full state (values and
 	// metadata) through the wire codec.
 	EncodeState(*codec.Writer, State)

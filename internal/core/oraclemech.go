@@ -54,6 +54,18 @@ func (oracleMech) JoinContexts(a, b Context) (Context, error) {
 	return causal.Union(ha, hb), nil
 }
 
+func (oracleMech) DescendsContext(a, b Context) (bool, error) {
+	ha, err := ctxOrErr[causal.History]("oracle", a)
+	if err != nil {
+		return false, err
+	}
+	hb, err := ctxOrErr[causal.History]("oracle", b)
+	if err != nil {
+		return false, err
+	}
+	return hb.SubsetOf(ha), nil
+}
+
 func (oracleMech) Read(s State) ReadResult {
 	st := mustState[HistState]("oracle", s)
 	vals := make([][]byte, len(st))

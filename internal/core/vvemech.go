@@ -60,6 +60,18 @@ func (vveMech) JoinContexts(a, b Context) (Context, error) {
 	return va.Clone().Merge(vb), nil
 }
 
+func (vveMech) DescendsContext(a, b Context) (bool, error) {
+	va, err := ctxOrErr[vve.VVE]("vve", a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := ctxOrErr[vve.VVE]("vve", b)
+	if err != nil {
+		return false, err
+	}
+	return vb.SubsetOf(va), nil
+}
+
 func (vveMech) Read(s State) ReadResult {
 	st := mustState[VVEState]("vve", s)
 	vals := make([][]byte, len(st))

@@ -50,6 +50,18 @@ func (k vvKernel) JoinContexts(a, b Context) (Context, error) {
 	return vv.Join(va, vb), nil
 }
 
+func (k vvKernel) DescendsContext(a, b Context) (bool, error) {
+	va, err := ctxOrErr[vv.VV](k.name, a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := ctxOrErr[vv.VV](k.name, b)
+	if err != nil {
+		return false, err
+	}
+	return va.Descends(vb), nil
+}
+
 func (k vvKernel) Read(s State) ReadResult {
 	st := mustState[VVState](k.name, s)
 	vals := make([][]byte, len(st))

@@ -37,7 +37,7 @@ func TestReplBatchCoalesces(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			key := "batch-key-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
-			_, err := a.CoordinatePut(context.Background(), key, a.cfg.Mech.EmptyContext(), []byte("v"), "cli")
+			_, err := a.CoordinatePut(context.Background(), key, []byte("v"), "cli", WriteOptions{})
 			if err != nil {
 				t.Error(err)
 			}
@@ -94,7 +94,7 @@ func TestReplBatchDisabled(t *testing.T) {
 	a, b := nodes[0], nodes[1]
 	for i := 0; i < 5; i++ {
 		key := "nb-" + string(rune('a'+i))
-		if _, err := a.CoordinatePut(context.Background(), key, a.cfg.Mech.EmptyContext(), []byte("v"), "cli"); err != nil {
+		if _, err := a.CoordinatePut(context.Background(), key, []byte("v"), "cli", WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}

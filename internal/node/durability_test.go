@@ -26,7 +26,6 @@ func TestSuspicionClearedOnLeave(t *testing.T) {
 	})
 	key := "suspect-leak-key"
 	co := ownerOf(t, nodes, r, key)
-	m := co.cfg.Mech
 	var peer *Node
 	for _, n := range nodes {
 		if n != co {
@@ -35,7 +34,7 @@ func TestSuspicionClearedOnLeave(t *testing.T) {
 		}
 	}
 	mem.Partition(co.ID(), peer.ID())
-	if _, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v"), "c1"); err != nil {
+	if _, err := co.CoordinatePut(context.Background(), key, []byte("v"), "c1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -159,11 +158,11 @@ func TestNodeRestartRecoversDurableState(t *testing.T) {
 	}
 	n := mk()
 	ctx := context.Background()
-	rr, err := n.CoordinatePut(ctx, "k", n.cfg.Mech.EmptyContext(), []byte("v1"), "c1")
+	rr, err := n.CoordinatePut(ctx, "k", []byte("v1"), "c1", WriteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.CoordinatePut(ctx, "k", rr.Ctx, []byte("v2"), "c1"); err != nil {
+	if _, err := n.CoordinatePut(ctx, "k", []byte("v2"), "c1", WriteOptions{Context: rr.Ctx}); err != nil {
 		t.Fatal(err)
 	}
 	if err := n.Close(); err != nil {
@@ -173,7 +172,7 @@ func TestNodeRestartRecoversDurableState(t *testing.T) {
 
 	n2 := mk()
 	defer n2.Close()
-	got, err := n2.CoordinateGet(ctx, "k")
+	got, err := n2.CoordinateGet(ctx, "k", ReadOptions{NotFoundOK: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +181,7 @@ func TestNodeRestartRecoversDurableState(t *testing.T) {
 	}
 	// A post-restart overwrite must dominate (fresh dot, not a duplicate
 	// of a pre-restart one).
-	after, err := n2.CoordinatePut(ctx, "k", got.Ctx, []byte("v3"), "c1")
+	after, err := n2.CoordinatePut(ctx, "k", []byte("v3"), "c1", WriteOptions{Context: got.Ctx})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,12 +258,12 @@ func TestConcurrentDurablePuts(t *testing.T) {
 			ctx := context.Background()
 			for i := 0; i < 20; i++ {
 				key := fmt.Sprintf("g%d-k%d", g, i%5)
-				rr, err := nd.CoordinateGet(ctx, key)
+				rr, err := nd.CoordinateGet(ctx, key, ReadOptions{NotFoundOK: true})
 				if err != nil {
 					errs <- err
 					return
 				}
-				if _, err := nd.CoordinatePut(ctx, key, rr.Ctx, []byte(fmt.Sprintf("g%d-%d", g, i)), dot.ID(fmt.Sprintf("c%d", g))); err != nil {
+				if _, err := nd.CoordinatePut(ctx, key, []byte(fmt.Sprintf("g%d-%d", g, i)), dot.ID(fmt.Sprintf("c%d", g)), WriteOptions{Context: rr.Ctx}); err != nil {
 					errs <- err
 					return
 				}

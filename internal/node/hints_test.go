@@ -14,7 +14,6 @@ func TestHintedHandoffStoresAndDelivers(t *testing.T) {
 	})
 	key := "hinted-key"
 	co := ownerOf(t, nodes, r, key)
-	m := co.cfg.Mech
 	// Cut the coordinator off from both peers, then write.
 	var peers []*Node
 	for _, n := range nodes {
@@ -23,7 +22,7 @@ func TestHintedHandoffStoresAndDelivers(t *testing.T) {
 			peers = append(peers, n)
 		}
 	}
-	if _, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v1"), "c1"); err != nil {
+	if _, err := co.CoordinatePut(context.Background(), key, []byte("v1"), "c1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// Replication goroutines run async; wait for both hints.
@@ -67,7 +66,6 @@ func TestHintsMergeForSameKey(t *testing.T) {
 	})
 	key := "merge-hints"
 	co := ownerOf(t, nodes, r, key)
-	m := co.cfg.Mech
 	var peer *Node
 	for _, n := range nodes {
 		if n.ID() != co.ID() {
@@ -77,10 +75,10 @@ func TestHintsMergeForSameKey(t *testing.T) {
 	mem.Partition(co.ID(), peer.ID())
 	// Two racing writes while the peer is down: the hints must merge
 	// into one per (peer, key) carrying both siblings.
-	if _, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v1"), "c1"); err != nil {
+	if _, err := co.CoordinatePut(context.Background(), key, []byte("v1"), "c1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v2"), "c2"); err != nil {
+	if _, err := co.CoordinatePut(context.Background(), key, []byte("v2"), "c2", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -108,7 +106,6 @@ func TestDeliverHintsKeepsUndeliverable(t *testing.T) {
 	})
 	key := "stuck-hint"
 	co := ownerOf(t, nodes, r, key)
-	m := co.cfg.Mech
 	var peer *Node
 	for _, n := range nodes {
 		if n.ID() != co.ID() {
@@ -116,7 +113,7 @@ func TestDeliverHintsKeepsUndeliverable(t *testing.T) {
 		}
 	}
 	mem.Partition(co.ID(), peer.ID())
-	if _, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v1"), "c1"); err != nil {
+	if _, err := co.CoordinatePut(context.Background(), key, []byte("v1"), "c1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -144,7 +141,6 @@ func TestHintDeliveryViaAntiEntropyLoop(t *testing.T) {
 	})
 	key := "loop-hint"
 	co := ownerOf(t, nodes, r, key)
-	m := co.cfg.Mech
 	var peer *Node
 	for _, n := range nodes {
 		if n.ID() != co.ID() {
@@ -152,7 +148,7 @@ func TestHintDeliveryViaAntiEntropyLoop(t *testing.T) {
 		}
 	}
 	mem.Partition(co.ID(), peer.ID())
-	if _, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v1"), "c1"); err != nil {
+	if _, err := co.CoordinatePut(context.Background(), key, []byte("v1"), "c1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)

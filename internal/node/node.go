@@ -264,6 +264,13 @@ type Stats struct {
 	// how deep divergence forced the walk.
 	AETreeRounds uint64
 	AETreeNodes  uint64
+	// SessionWaits counts coordinated reads/writes whose session floor
+	// was not satisfied by the first state examined (at most one per
+	// request); SessionRetries the extra replica re-read rounds spent
+	// reaching a floor. Both zero on a converged key — the proof session
+	// enforcement is free once replication has caught up.
+	SessionWaits   uint64
+	SessionRetries uint64
 
 	// Engine-level store counters, filled from storage.Stats at Stats()
 	// time rather than bump-maintained. Engine names the storage engine;
@@ -477,8 +484,19 @@ func putWriter(w *codec.Writer) { codec.PutPooledWriter(w) }
 // Client GET path.
 // ---------------------------------------------------------------------------
 
-// EncodeGetRequest builds a MethodGet body.
-func EncodeGetRequest(key string) []byte {
+// EncodeGetRequest builds a MethodGet body: the key plus the request's
+// read options (consistency level, not-found rule, session floor).
+func EncodeGetRequest(m core.Mechanism, key string, opts ReadOptions) []byte {
+	w := codec.NewWriter(32 + len(key))
+	w.String(key)
+	EncodeReadOptions(w, m, opts)
+	return w.Bytes()
+}
+
+// EncodeReplGetRequest builds a MethodReplGet body. Replica-internal
+// fetches are options-free: they always read exactly one replica's local
+// state.
+func EncodeReplGetRequest(key string) []byte {
 	w := codec.NewWriter(16 + len(key))
 	w.String(key)
 	return w.Bytes()
@@ -529,28 +547,46 @@ func (n *Node) handleGet(ctx context.Context, body []byte) transport.Response {
 	if r.Err() != nil {
 		return fail(r.Err())
 	}
+	opts, err := DecodeReadOptions(n.cfg.Mech, r)
+	if err != nil {
+		return fail(err)
+	}
+	r.ExpectEOF()
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
 	n.bump(func(s *Stats) { s.ClientGets++ })
-	rr, err := n.CoordinateGet(ctx, key)
+	rr, err := n.CoordinateGet(ctx, key, opts)
 	if err != nil {
 		return fail(err)
 	}
 	return transport.Response{Body: EncodeReadResult(n.cfg.Mech, rr)}
 }
 
-// CoordinateGet performs the coordinator-side read: merge R replica states
-// (including the local one when the node owns the key), read-repair
-// divergent replicas, and return values plus causal context. If this node
-// is not in the key's preference list the request is forwarded.
-func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, error) {
+// CoordinateGet performs the coordinator-side read: merge replica states
+// (including the local one when the node owns the key) until the request's
+// effective read quorum is met, read-repair divergent replicas, and return
+// values plus causal context. If this node is not in the key's preference
+// list the request is forwarded — options and all.
+//
+// The effective quorum comes from opts (level or explicit R override),
+// defaulting to Config.R. At level one against a key whose local state
+// already satisfies the session floor, the read is answered from the local
+// snapshot with zero replica round trips. A session floor that the first
+// merge round does not reach escalates to awaitFloor: re-read the replicas
+// with backoff until the merged context dominates the floor or the request
+// deadline expires.
+func (n *Node) CoordinateGet(ctx context.Context, key string, opts ReadOptions) (core.ReadResult, error) {
 	pref := n.cfg.Ring.Preference(key, n.cfg.N)
 	if len(pref) == 0 {
 		return core.ReadResult{}, errors.New("node: empty ring")
 	}
 	if !containsID(pref, n.cfg.ID) {
-		return n.forwardGet(ctx, pref[0], key)
+		return n.forwardGet(ctx, pref[0], key, opts)
 	}
 	cctx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
 	defer cancel()
+	need := resolveQuorum(opts.Level, opts.R, n.cfg.R, n.cfg.N, len(pref))
 
 	merged, _ := n.store.Snapshot(key)
 	// Divergence is judged against this snapshot, not the live store: a
@@ -561,6 +597,29 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 	if merged == nil {
 		merged = n.cfg.Mech.NewState()
 	}
+	anyState := localHash != 0
+	waited := false
+
+	// Level-one fast path: the request *explicitly* asked for a single
+	// replica, and the local snapshot alone is a quorum. Serve it without
+	// touching a peer unless the strict not-found rule needs a wider look,
+	// or the session floor is not yet satisfied locally (then the fan-out
+	// below is the first escalation round). A configured default of R=1
+	// deliberately does not take this path: pre-options deployments with
+	// R=1 still merged every reachable replica per read, and a zero
+	// ReadOptions must reproduce that behaviour exactly.
+	if (opts.Level == LevelOne || opts.R == 1) && need == 1 && (anyState || opts.NotFoundOK) {
+		ok, err := n.floorSatisfied(merged, opts.Session)
+		if err != nil {
+			return core.ReadResult{}, err
+		}
+		if ok {
+			return n.cfg.Mech.Read(merged), nil
+		}
+		waited = true
+		n.bump(func(s *Stats) { s.SessionWaits++ })
+	}
+
 	acks := 1 // local read
 	type reply struct {
 		peer  dot.ID
@@ -579,7 +638,6 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 	}
 	divergent := make([]dot.ID, 0, len(peers))
 	var missing []dot.ID
-	anyState := localHash != 0
 	for range peers {
 		rep := <-ch
 		if rep.err != nil {
@@ -607,9 +665,28 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 	if anyState {
 		divergent = append(divergent, missing...)
 	}
-	if need := clampQuorum(n.cfg.R, len(pref)); acks < need {
+	if acks < need {
 		n.bump(func(s *Stats) { s.QuorumFailures++ })
 		return core.ReadResult{}, fmt.Errorf("node: read quorum not reached: %d/%d", acks, need)
+	}
+	// Session floor: the merged view must dominate what the session has
+	// already seen; otherwise the missing causal past is still in flight
+	// (replication outlives requests) and awaitFloor polls for it.
+	if ok, err := n.floorSatisfied(merged, opts.Session); err != nil {
+		return core.ReadResult{}, err
+	} else if !ok {
+		if !waited {
+			n.bump(func(s *Stats) { s.SessionWaits++ })
+		}
+		var err error
+		if merged, err = n.awaitFloor(cctx, key, merged, opts.Session, peers); err != nil {
+			return core.ReadResult{}, err
+		}
+		anyState = anyState || n.cfg.Mech.Siblings(merged) > 0
+		divergent = peers // the floor round trips superseded the hash verdicts
+	}
+	if !anyState && !opts.NotFoundOK {
+		return core.ReadResult{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	// Fold the merged view back into the local store so the coordinator
 	// serves monotone reads. When every peer matched the local hash the
@@ -627,12 +704,71 @@ func (n *Node) CoordinateGet(ctx context.Context, key string) (core.ReadResult, 
 	return n.cfg.Mech.Read(merged), nil
 }
 
-func (n *Node) forwardGet(ctx context.Context, to dot.ID, key string) (core.ReadResult, error) {
+// floorSatisfied reports whether st's read context dominates the session
+// floor. A nil floor is always satisfied.
+func (n *Node) floorSatisfied(st core.State, floor core.Context) (bool, error) {
+	if floor == nil {
+		return true, nil
+	}
+	return n.cfg.Mech.DescendsContext(n.cfg.Mech.Read(st).Ctx, floor)
+}
+
+// Session-floor poll backoff: after a merge round misses the floor, the
+// coordinator sleeps before re-reading the replicas — the missing causal
+// past is replication in flight, and an immediate retry would mostly
+// re-observe the same states.
+const (
+	sessionPollBase = time.Millisecond
+	sessionPollMax  = 50 * time.Millisecond
+)
+
+// awaitFloor re-reads the key's replicas until the merged state's context
+// dominates the session floor, or ctx expires. Called after a first merge
+// round has already failed the floor check (the caller counts the
+// SessionWait); every extra round counts one Stats.SessionRetries.
+func (n *Node) awaitFloor(ctx context.Context, key string, merged core.State, floor core.Context, peers []dot.ID) (core.State, error) {
+	for round := 0; ; round++ {
+		d := sessionPollBase << min(round, 10)
+		if d > sessionPollMax {
+			d = sessionPollMax
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("node: session floor not reached for %q: %w", key, ctx.Err())
+		case <-time.After(d):
+		}
+		n.bump(func(s *Stats) { s.SessionRetries++ })
+		// The local store may have advanced independently (a racing put,
+		// a replica push, hint delivery) — fold it in before the fan-out.
+		if st, ok := n.store.Snapshot(key); ok {
+			merged = n.cfg.Mech.Sync(merged, st)
+		}
+		for _, p := range peers {
+			st, found, err := n.replGet(ctx, p, key)
+			if err != nil {
+				n.bump(func(s *Stats) { s.ReplFailures++ })
+				continue
+			}
+			if found {
+				merged = n.cfg.Mech.Sync(merged, st)
+			}
+		}
+		ok, err := n.floorSatisfied(merged, floor)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return merged, nil
+		}
+	}
+}
+
+func (n *Node) forwardGet(ctx context.Context, to dot.ID, key string, opts ReadOptions) (core.ReadResult, error) {
 	n.bump(func(s *Stats) { s.Forwards++ })
 	cctx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
 	defer cancel()
 	resp, err := n.cfg.Transport.Send(cctx, n.cfg.ID, to, transport.Request{
-		Method: MethodGet, Body: EncodeGetRequest(key),
+		Method: MethodGet, Body: EncodeGetRequest(n.cfg.Mech, key, opts),
 	})
 	if err != nil {
 		return core.ReadResult{}, fmt.Errorf("node: forward get to %s: %w", to, err)
@@ -693,13 +829,14 @@ func (n *Node) repairAsync(key string, merged core.State, peers []dot.ID) {
 // Client PUT path.
 // ---------------------------------------------------------------------------
 
-// EncodePutRequest builds a MethodPut body.
-func EncodePutRequest(m core.Mechanism, key string, ctx core.Context, value []byte, client dot.ID) []byte {
+// EncodePutRequest builds a MethodPut body: key, writer identity, value,
+// then the request's write options (level, causal context, session floor).
+func EncodePutRequest(m core.Mechanism, key string, value []byte, client dot.ID, opts WriteOptions) []byte {
 	w := codec.NewWriter(64 + len(value))
 	w.String(key)
 	w.String(string(client))
 	w.BytesField(value)
-	m.EncodeContext(w, ctx)
+	EncodeWriteOptions(w, m, opts)
 	return w.Bytes()
 }
 
@@ -711,15 +848,19 @@ func (n *Node) handlePut(ctx context.Context, from dot.ID, body []byte) transpor
 	if r.Err() != nil {
 		return fail(r.Err())
 	}
-	wctx, err := n.cfg.Mech.DecodeContext(r)
+	opts, err := DecodeWriteOptions(n.cfg.Mech, r)
 	if err != nil {
 		return fail(err)
+	}
+	r.ExpectEOF()
+	if r.Err() != nil {
+		return fail(r.Err())
 	}
 	if client == "" {
 		client = from
 	}
 	n.bump(func(s *Stats) { s.ClientPuts++ })
-	rr, err := n.CoordinatePut(ctx, key, wctx, value, client)
+	rr, err := n.CoordinatePut(ctx, key, value, client, opts)
 	if err != nil {
 		return fail(err)
 	}
@@ -768,7 +909,11 @@ var errShuttingDown = errors.New("node: shutting down")
 
 // CoordinatePut applies a client write locally, replicates the resulting
 // state to the other preference-list members, and waits for the write
-// quorum. It returns the post-write read result (Riak's return_body).
+// quorum resolved from opts (level or explicit W override, defaulting to
+// Config.W). It returns the post-write read result (Riak's return_body).
+// A session floor in opts is enforced before the write applies: the
+// coordinator pulls the key's replicas until its state dominates the
+// floor, so a session's write can never causally precede its own reads.
 //
 // With SloppyQuorum enabled, a preference-list member that is suspected
 // or unreachable does not cost the write its ack: the coordinator extends
@@ -777,13 +922,41 @@ var errShuttingDown = errors.New("node: shutting down")
 // and keeps a hint for the home replica, which hint delivery or
 // anti-entropy later reconciles — Dynamo's sloppy quorum + hinted
 // handoff discipline.
-func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context, value []byte, client dot.ID) (core.ReadResult, error) {
+func (n *Node) CoordinatePut(ctx context.Context, key string, value []byte, client dot.ID, opts WriteOptions) (core.ReadResult, error) {
 	pref := n.cfg.Ring.Preference(key, n.cfg.N)
 	if len(pref) == 0 {
 		return core.ReadResult{}, errors.New("node: empty ring")
 	}
 	if !containsID(pref, n.cfg.ID) {
-		return n.forwardPut(ctx, pref[0], key, wctx, value, client)
+		return n.forwardPut(ctx, pref[0], key, value, client, opts)
+	}
+	wctx := opts.Context
+	if wctx == nil {
+		wctx = n.cfg.Mech.EmptyContext()
+	}
+	if opts.Session != nil {
+		local, _ := n.store.Snapshot(key)
+		if local == nil {
+			local = n.cfg.Mech.NewState()
+		}
+		ok, err := n.floorSatisfied(local, opts.Session)
+		if err != nil {
+			return core.ReadResult{}, err
+		}
+		if !ok {
+			n.bump(func(s *Stats) { s.SessionWaits++ })
+			fctx, fcancel := context.WithTimeout(ctx, n.cfg.Timeout)
+			merged, err := n.awaitFloor(fctx, key, local, opts.Session, withoutID(pref, n.cfg.ID))
+			fcancel()
+			if err != nil {
+				return core.ReadResult{}, err
+			}
+			// The floor state must be applied (durably) before the write:
+			// the write's dot has to causally follow it on this replica.
+			if err := n.store.SyncKey(key, merged); err != nil {
+				return core.ReadResult{}, err
+			}
+		}
 	}
 	rr, err := n.store.Put(key, wctx, value, core.WriteInfo{Server: n.cfg.ID, Client: client})
 	if err != nil {
@@ -865,7 +1038,7 @@ func (n *Node) CoordinatePut(ctx context.Context, key string, wctx core.Context,
 			ch <- err
 		}()
 	}
-	need := clampQuorum(n.cfg.W, len(pref))
+	need := resolveQuorum(opts.Level, opts.W, n.cfg.W, n.cfg.N, len(pref))
 	acks := 1 // local write
 	for range peers {
 		if err := <-ch; err == nil {
@@ -932,13 +1105,13 @@ func (n *Node) notePeerOK(peer dot.ID) {
 	n.mu.Unlock()
 }
 
-func (n *Node) forwardPut(ctx context.Context, to dot.ID, key string, wctx core.Context, value []byte, client dot.ID) (core.ReadResult, error) {
+func (n *Node) forwardPut(ctx context.Context, to dot.ID, key string, value []byte, client dot.ID, opts WriteOptions) (core.ReadResult, error) {
 	n.bump(func(s *Stats) { s.Forwards++ })
 	cctx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
 	defer cancel()
 	resp, err := n.cfg.Transport.Send(cctx, n.cfg.ID, to, transport.Request{
 		Method: MethodPut,
-		Body:   EncodePutRequest(n.cfg.Mech, key, wctx, value, client),
+		Body:   EncodePutRequest(n.cfg.Mech, key, value, client, opts),
 	})
 	if err != nil {
 		return core.ReadResult{}, fmt.Errorf("node: forward put to %s: %w", to, err)
@@ -955,7 +1128,7 @@ func (n *Node) forwardPut(ctx context.Context, to dot.ID, key string, wctx core.
 
 func (n *Node) replGet(ctx context.Context, peer dot.ID, key string) (core.State, bool, error) {
 	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
-		Method: MethodReplGet, Body: EncodeGetRequest(key),
+		Method: MethodReplGet, Body: EncodeReplGetRequest(key),
 	})
 	if err != nil {
 		n.noteSendFailure(peer)
@@ -1032,28 +1205,45 @@ func (n *Node) handleReplPut(body []byte) transport.Response {
 	return transport.Response{}
 }
 
-func (n *Node) handleStats() transport.Response {
-	st := n.Stats()
-	w := codec.NewWriter(64)
-	for _, v := range []uint64{st.ClientGets, st.ClientPuts, st.ReplGets, st.ReplPuts, st.ReadRepairs, st.AERounds, st.QuorumFailures, st.Forwards, st.HintsStored, st.HintsDelivered, st.ReplFailures, st.SloppyAcks, st.HandoffKeys, st.RepairsDropped, st.ReplBatches, st.BatchedKeys, st.AERepairFailures, st.HintAttempts, st.HintSkips, st.AETreeRounds, st.AETreeNodes} {
-		w.Uvarint(v)
+// statsFields returns a pointer to every uint64 counter of s in the one
+// canonical wire order shared by EncodeStats and DecodeStats. Keeping a
+// single table is what makes encode/decode drift impossible: a new Stats
+// field is either listed here (and round-trips) or the regression test
+// in stats_wire_test.go fails the build. Append new fields at the end.
+func statsFields(s *Stats) []*uint64 {
+	return []*uint64{
+		&s.ClientGets, &s.ClientPuts, &s.ReplGets, &s.ReplPuts,
+		&s.ReadRepairs, &s.AERounds, &s.QuorumFailures, &s.Forwards,
+		&s.HintsStored, &s.HintsDelivered, &s.ReplFailures, &s.SloppyAcks,
+		&s.HandoffKeys, &s.RepairsDropped, &s.ReplBatches, &s.BatchedKeys,
+		&s.AERepairFailures, &s.HintAttempts, &s.HintSkips,
+		&s.AETreeRounds, &s.AETreeNodes, &s.SessionWaits, &s.SessionRetries,
+		&s.StoreKeys, &s.CacheBytes, &s.CacheHits, &s.CacheMisses,
+		&s.Spills, &s.Faults, &s.Segments, &s.WALAppends, &s.Checkpoints,
 	}
+}
+
+// EncodeStats builds the MethodStats response body: the engine name, then
+// every counter from the shared field table as a uvarint.
+func EncodeStats(st Stats) []byte {
+	w := codec.NewWriter(128)
 	w.String(st.Engine)
-	for _, v := range []uint64{st.StoreKeys, st.CacheBytes, st.CacheHits, st.CacheMisses, st.Spills, st.Faults, st.Segments, st.WALAppends, st.Checkpoints} {
-		w.Uvarint(v)
+	for _, p := range statsFields(&st) {
+		w.Uvarint(*p)
 	}
-	return transport.Response{Body: w.Bytes()}
+	return w.Bytes()
+}
+
+func (n *Node) handleStats() transport.Response {
+	return transport.Response{Body: EncodeStats(n.Stats())}
 }
 
 // DecodeStats parses a MethodStats response body.
 func DecodeStats(body []byte) (Stats, error) {
 	r := codec.NewReader(body)
 	var st Stats
-	for _, p := range []*uint64{&st.ClientGets, &st.ClientPuts, &st.ReplGets, &st.ReplPuts, &st.ReadRepairs, &st.AERounds, &st.QuorumFailures, &st.Forwards, &st.HintsStored, &st.HintsDelivered, &st.ReplFailures, &st.SloppyAcks, &st.HandoffKeys, &st.RepairsDropped, &st.ReplBatches, &st.BatchedKeys, &st.AERepairFailures, &st.HintAttempts, &st.HintSkips, &st.AETreeRounds, &st.AETreeNodes} {
-		*p = r.Uvarint()
-	}
 	st.Engine = r.String()
-	for _, p := range []*uint64{&st.StoreKeys, &st.CacheBytes, &st.CacheHits, &st.CacheMisses, &st.Spills, &st.Faults, &st.Segments, &st.WALAppends, &st.Checkpoints} {
+	for _, p := range statsFields(&st) {
 		*p = r.Uvarint()
 	}
 	r.ExpectEOF()

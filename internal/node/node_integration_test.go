@@ -107,7 +107,7 @@ func TestNodesOverTCPEndToEnd(t *testing.T) {
 	t.Cleanup(func() { cli.Close() })
 	m := core.NewDVV()
 	ctx := context.Background()
-	putBody := EncodePutRequest(m, "tcp-key", m.EmptyContext(), []byte("tcp-value"), "client")
+	putBody := EncodePutRequest(m, "tcp-key", []byte("tcp-value"), "client", WriteOptions{})
 	resp, err := cli.Send(ctx, "client", "t0", transport.Request{Method: MethodPut, Body: putBody})
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestNodesOverTCPEndToEnd(t *testing.T) {
 		t.Fatal(resp.Err)
 	}
 	// Read through a different node.
-	gresp, err := cli.Send(ctx, "client", "t2", transport.Request{Method: MethodGet, Body: EncodeGetRequest("tcp-key")})
+	gresp, err := cli.Send(ctx, "client", "t2", transport.Request{Method: MethodGet, Body: EncodeGetRequest(m, "tcp-key", ReadOptions{NotFoundOK: true})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,14 +168,14 @@ func TestChaosConvergence(t *testing.T) {
 		co := nodes[i%len(nodes)]
 		key := fmt.Sprintf("chaos-%d", i%7)
 		val := fmt.Sprintf("w%03d", i)
-		rr, err := co.CoordinateGet(ctx, key)
+		rr, err := co.CoordinateGet(ctx, key, ReadOptions{NotFoundOK: true})
 		var wctx core.Context
 		if err != nil {
 			wctx = co.cfg.Mech.EmptyContext()
 		} else {
 			wctx = rr.Ctx
 		}
-		if _, err := co.CoordinatePut(ctx, key, wctx, []byte(val), dot.ID(fmt.Sprintf("cl%d", i%5))); err == nil {
+		if _, err := co.CoordinatePut(ctx, key, []byte(val), dot.ID(fmt.Sprintf("cl%d", i%5)), WriteOptions{Context: wctx}); err == nil {
 			written[key] = true
 		}
 	}

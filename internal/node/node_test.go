@@ -96,7 +96,7 @@ func TestSingleNodePutGet(t *testing.T) {
 	n := nodes[0]
 	m := n.cfg.Mech
 	// Put via RPC handler (as a client would).
-	body := EncodePutRequest(m, "k", m.EmptyContext(), []byte("v1"), "c1")
+	body := EncodePutRequest(m, "k", []byte("v1"), "c1", WriteOptions{})
 	resp := n.Handle(context.Background(), "c1", transport.Request{Method: MethodPut, Body: body})
 	if resp.Err != "" {
 		t.Fatal(resp.Err)
@@ -110,7 +110,7 @@ func TestSingleNodePutGet(t *testing.T) {
 	}
 	// Get via RPC through the transport.
 	gresp, err := mem.Send(context.Background(), "c1", n.ID(), transport.Request{
-		Method: MethodGet, Body: EncodeGetRequest("k"),
+		Method: MethodGet, Body: EncodeGetRequest(m, "k", ReadOptions{NotFoundOK: true}),
 	})
 	if err != nil || gresp.Err != "" {
 		t.Fatalf("get: %v %s", err, gresp.Err)
@@ -132,8 +132,7 @@ func TestReplicationOnPut(t *testing.T) {
 	nodes, _, r := testCluster(t, 3, nil)
 	key := "replicated-key"
 	co := ownerOf(t, nodes, r, key)
-	m := co.cfg.Mech
-	if _, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v1"), "c1"); err != nil {
+	if _, err := co.CoordinatePut(context.Background(), key, []byte("v1"), "c1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// All three nodes are in the preference list (N=3=cluster size) and
@@ -176,7 +175,7 @@ func TestGetMergesDivergentReplicas(t *testing.T) {
 	}
 	_, _ = n1.Store().Put(key, m.EmptyContext(), []byte("v1"), core.WriteInfo{Server: n1.ID(), Client: "c1"})
 	_, _ = n2.Store().Put(key, m.EmptyContext(), []byte("v2"), core.WriteInfo{Server: n2.ID(), Client: "c2"})
-	rr, err := co.CoordinateGet(context.Background(), key)
+	rr, err := co.CoordinateGet(context.Background(), key, ReadOptions{NotFoundOK: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +199,7 @@ func TestReadRepairConverges(t *testing.T) {
 	// Coordinator writes; stale replica misses it (write direct to store
 	// of the two first preference members only).
 	_, _ = co.Store().Put(key, m.EmptyContext(), []byte("v1"), core.WriteInfo{Server: co.ID(), Client: "c1"})
-	if _, err := co.CoordinateGet(context.Background(), key); err != nil {
+	if _, err := co.CoordinateGet(context.Background(), key, ReadOptions{NotFoundOK: true}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -230,14 +229,13 @@ func TestForwardingToOwner(t *testing.T) {
 	if outsider == nil {
 		t.Skip("all nodes own the key")
 	}
-	m := outsider.cfg.Mech
-	if _, err := outsider.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v1"), "c1"); err != nil {
+	if _, err := outsider.CoordinatePut(context.Background(), key, []byte("v1"), "c1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if outsider.Stats().Forwards == 0 {
 		t.Fatal("put was not forwarded")
 	}
-	rr, err := outsider.CoordinateGet(context.Background(), key)
+	rr, err := outsider.CoordinateGet(context.Background(), key, ReadOptions{NotFoundOK: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,14 +248,13 @@ func TestWriteQuorumFailure(t *testing.T) {
 	nodes, mem, r := testCluster(t, 3, func(c *Config) { c.W = 3 })
 	key := "quorum-key"
 	co := ownerOf(t, nodes, r, key)
-	m := co.cfg.Mech
 	// Cut the coordinator off from both peers: W=3 can never be met.
 	for _, n := range nodes {
 		if n.ID() != co.ID() {
 			mem.Partition(co.ID(), n.ID())
 		}
 	}
-	_, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v1"), "c1")
+	_, err := co.CoordinatePut(context.Background(), key, []byte("v1"), "c1", WriteOptions{})
 	if err == nil || !strings.Contains(err.Error(), "quorum") {
 		t.Fatalf("err = %v, want quorum failure", err)
 	}

@@ -1,0 +1,265 @@
+package node
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Level is a per-request consistency level. The zero value defers to the
+// node's configured quorum (Config.R for reads, Config.W for writes), so
+// a zero ReadOptions/WriteOptions reproduces the pre-options behaviour.
+type Level uint8
+
+// Consistency levels. All quorums, whatever their source, are clamped to
+// the key's preference-list size per request (clampQuorum), so a cluster
+// smaller than N stays operable at every level.
+const (
+	// LevelDefault uses the node's configured R/W quorum.
+	LevelDefault Level = iota
+	// LevelOne acks after a single replica (the coordinator itself when
+	// it owns the key — the zero-round-trip fast path).
+	LevelOne
+	// LevelQuorum requires a majority of N, regardless of the configured
+	// default.
+	LevelQuorum
+	// LevelAll requires every preference-list member.
+	LevelAll
+)
+
+// maxQuorumOverride bounds explicit R/W overrides on the wire; anything
+// larger is corrupt, not a quorum.
+const maxQuorumOverride = 1 << 16
+
+// String returns the CLI spelling of l.
+func (l Level) String() string {
+	switch l {
+	case LevelDefault:
+		return "default"
+	case LevelOne:
+		return "one"
+	case LevelQuorum:
+		return "quorum"
+	case LevelAll:
+		return "all"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// ParseLevel parses a CLI consistency-level spelling. The empty string
+// and "default" both mean LevelDefault.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "", "default":
+		return LevelDefault, nil
+	case "one":
+		return LevelOne, nil
+	case "quorum":
+		return LevelQuorum, nil
+	case "all":
+		return LevelAll, nil
+	}
+	return LevelDefault, fmt.Errorf("node: unknown consistency level %q (want one, quorum, all or default)", s)
+}
+
+// ReadOptions carries the per-request knobs of a client read. The zero
+// value is the strictest cheap read: configured quorum, not-found is an
+// error, no session floor.
+type ReadOptions struct {
+	// Level selects the read quorum; see the Level constants.
+	Level Level
+
+	// R, when > 0, overrides the read quorum with an explicit replica
+	// count. Mutually exclusive with a non-default Level (the wire codec
+	// rejects frames carrying both).
+	R int
+
+	// NotFoundOK makes a read that finds no value at any reachable
+	// replica succeed with zero siblings (and the empty causal context)
+	// instead of failing with ErrNotFound.
+	NotFoundOK bool
+
+	// Session, when non-nil, is the session floor: the coordinator must
+	// not answer until its merged state's context descends this context
+	// (read-your-writes and monotonic reads). It re-reads the key's
+	// replicas with backoff until the floor is met or the request
+	// deadline expires, counting Stats.SessionWaits/SessionRetries.
+	Session core.Context
+}
+
+// WriteOptions carries the per-request knobs of a client write. The zero
+// value is a blind write at the configured quorum.
+type WriteOptions struct {
+	// Level selects the write quorum; see the Level constants.
+	Level Level
+
+	// W, when > 0, overrides the write quorum with an explicit replica
+	// count. Mutually exclusive with a non-default Level.
+	W int
+
+	// Context is the causal context the writer learned from its last
+	// read — the opaque token Get returned, decoded. Siblings it covers
+	// are discarded by the write; nil means a blind write (the empty
+	// context), which conflicts with every concurrent sibling.
+	Context core.Context
+
+	// Session, when non-nil, is the session floor the coordinator must
+	// reach before applying the write, as in ReadOptions.Session.
+	Session core.Context
+}
+
+// ErrNotFound reports a read (with ReadOptions.NotFoundOK unset) that
+// found no value at any reachable replica.
+var ErrNotFound = errors.New("node: key not found")
+
+// IsNotFound reports whether err is ErrNotFound, including instances that
+// crossed the transport as an application-error string.
+func IsNotFound(err error) bool {
+	return err != nil && (errors.Is(err, ErrNotFound) || strings.Contains(err.Error(), ErrNotFound.Error()))
+}
+
+// EncodeReadOptions appends o's canonical wire form: level, R override,
+// not-found flag, then the optional session floor behind a presence flag.
+func EncodeReadOptions(w *codec.Writer, m core.Mechanism, o ReadOptions) {
+	w.Uvarint(uint64(o.Level))
+	w.Uvarint(uint64(o.R))
+	w.Bool(o.NotFoundOK)
+	w.Bool(o.Session != nil)
+	if o.Session != nil {
+		m.EncodeContext(w, o.Session)
+	}
+}
+
+// DecodeReadOptions parses the frame section written by EncodeReadOptions,
+// rejecting non-canonical forms (unknown level, oversized or conflicting
+// quorum override) as codec.ErrCorrupt.
+func DecodeReadOptions(m core.Mechanism, r *codec.Reader) (ReadOptions, error) {
+	var o ReadOptions
+	lvl := r.Uvarint()
+	rq := r.Uvarint()
+	o.NotFoundOK = r.Bool()
+	hasSession := r.Bool()
+	if r.Err() != nil {
+		return ReadOptions{}, r.Err()
+	}
+	if lvl > uint64(LevelAll) || rq > maxQuorumOverride || (rq > 0 && lvl != uint64(LevelDefault)) {
+		return ReadOptions{}, codec.ErrCorrupt
+	}
+	o.Level = Level(lvl)
+	o.R = int(rq)
+	if hasSession {
+		sess, err := m.DecodeContext(r)
+		if err != nil {
+			return ReadOptions{}, err
+		}
+		o.Session = sess
+	}
+	return o, nil
+}
+
+// EncodeWriteOptions appends o's canonical wire form: level, W override,
+// the causal context (nil encodes as the mechanism's empty context), then
+// the optional session floor behind a presence flag.
+func EncodeWriteOptions(w *codec.Writer, m core.Mechanism, o WriteOptions) {
+	w.Uvarint(uint64(o.Level))
+	w.Uvarint(uint64(o.W))
+	ctx := o.Context
+	if ctx == nil {
+		ctx = m.EmptyContext()
+	}
+	m.EncodeContext(w, ctx)
+	w.Bool(o.Session != nil)
+	if o.Session != nil {
+		m.EncodeContext(w, o.Session)
+	}
+}
+
+// DecodeWriteOptions parses the frame section written by
+// EncodeWriteOptions, with the same canonicality rules as
+// DecodeReadOptions. The decoded Context is never nil.
+func DecodeWriteOptions(m core.Mechanism, r *codec.Reader) (WriteOptions, error) {
+	var o WriteOptions
+	lvl := r.Uvarint()
+	wq := r.Uvarint()
+	if r.Err() != nil {
+		return WriteOptions{}, r.Err()
+	}
+	if lvl > uint64(LevelAll) || wq > maxQuorumOverride || (wq > 0 && lvl != uint64(LevelDefault)) {
+		return WriteOptions{}, codec.ErrCorrupt
+	}
+	o.Level = Level(lvl)
+	o.W = int(wq)
+	wctx, err := m.DecodeContext(r)
+	if err != nil {
+		return WriteOptions{}, err
+	}
+	o.Context = wctx
+	hasSession := r.Bool()
+	if r.Err() != nil {
+		return WriteOptions{}, r.Err()
+	}
+	if hasSession {
+		sess, err := m.DecodeContext(r)
+		if err != nil {
+			return WriteOptions{}, err
+		}
+		o.Session = sess
+	}
+	return o, nil
+}
+
+// resolveQuorum turns a request's level/override into the effective
+// quorum: an explicit override wins, then the level, then the node
+// default — always clamped to the preference-list size.
+func resolveQuorum(level Level, override, def, n, prefLen int) int {
+	q := def
+	switch {
+	case override > 0:
+		q = override
+	case level == LevelOne:
+		q = 1
+	case level == LevelQuorum:
+		q = (n + 1) / 2
+	case level == LevelAll:
+		q = n
+	}
+	if q < 1 {
+		q = 1
+	}
+	return clampQuorum(q, prefLen)
+}
+
+// EncodeContextToken encodes a causal context as the opaque token clients
+// carry between Get and Put (the Riak vclock-token shape). The empty
+// token stands for the mechanism's empty context.
+func EncodeContextToken(m core.Mechanism, ctx core.Context) []byte {
+	if ctx == nil {
+		ctx = m.EmptyContext()
+	}
+	w := getWriter()
+	defer putWriter(w)
+	m.EncodeContext(w, ctx)
+	return bytes.Clone(w.Bytes())
+}
+
+// DecodeContextToken decodes a token produced by EncodeContextToken. A
+// nil or empty token yields the mechanism's empty context.
+func DecodeContextToken(m core.Mechanism, token []byte) (core.Context, error) {
+	if len(token) == 0 {
+		return m.EmptyContext(), nil
+	}
+	r := codec.NewReader(token)
+	ctx, err := m.DecodeContext(r)
+	if err != nil {
+		return nil, err
+	}
+	r.ExpectEOF()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return ctx, nil
+}

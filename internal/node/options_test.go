@@ -1,0 +1,266 @@
+package node
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/vv"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Level
+		ok   bool
+	}{
+		{"", LevelDefault, true},
+		{"default", LevelDefault, true},
+		{"one", LevelOne, true},
+		{"ONE", LevelOne, true},
+		{"quorum", LevelQuorum, true},
+		{"all", LevelAll, true},
+		{"two", 0, false},
+		{"strong", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, l := range []Level{LevelDefault, LevelOne, LevelQuorum, LevelAll} {
+		back, err := ParseLevel(l.String())
+		if err != nil || back != l {
+			t.Errorf("ParseLevel(%v.String()) = %v, %v", l, back, err)
+		}
+	}
+}
+
+func TestResolveQuorum(t *testing.T) {
+	cases := []struct {
+		level            Level
+		override, def, n int
+		prefLen          int
+		want             int
+	}{
+		{LevelDefault, 0, 2, 3, 3, 2}, // configured default
+		{LevelOne, 0, 2, 3, 3, 1},     // single replica
+		{LevelQuorum, 0, 1, 3, 3, 2},  // majority of N, not the default
+		{LevelAll, 0, 1, 3, 3, 3},     // every member
+		{LevelAll, 0, 1, 3, 2, 2},     // clamped to the preference list
+		{LevelDefault, 3, 1, 3, 3, 3}, // explicit override wins
+		{LevelDefault, 9, 2, 3, 3, 3}, // override clamped too
+		{LevelDefault, 0, 0, 3, 3, 1}, // degenerate default floors at 1
+		{LevelQuorum, 0, 2, 5, 5, 3},  // majority of larger N
+	}
+	for _, c := range cases {
+		got := resolveQuorum(c.level, c.override, c.def, c.n, c.prefLen)
+		if got != c.want {
+			t.Errorf("resolveQuorum(%v, %d, %d, %d, %d) = %d, want %d",
+				c.level, c.override, c.def, c.n, c.prefLen, got, c.want)
+		}
+	}
+}
+
+func sessionCtx(m core.Mechanism) core.Context {
+	return vv.From("c9", 1, "n00", 3)
+}
+
+func TestReadOptionsRoundTrip(t *testing.T) {
+	m := core.NewDVV()
+	cases := []ReadOptions{
+		{},
+		{Level: LevelOne},
+		{Level: LevelAll, NotFoundOK: true},
+		{R: 3},
+		{NotFoundOK: true, Session: sessionCtx(m)},
+		{Level: LevelQuorum, Session: sessionCtx(m)},
+	}
+	for i, o := range cases {
+		w := codec.NewWriter(64)
+		EncodeReadOptions(w, m, o)
+		r := codec.NewReader(w.Bytes())
+		got, err := DecodeReadOptions(m, r)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		r.ExpectEOF()
+		if r.Err() != nil {
+			t.Fatalf("case %d: trailing bytes: %v", i, r.Err())
+		}
+		if got.Level != o.Level || got.R != o.R || got.NotFoundOK != o.NotFoundOK {
+			t.Fatalf("case %d: got %+v want %+v", i, got, o)
+		}
+		if (got.Session == nil) != (o.Session == nil) {
+			t.Fatalf("case %d: session presence flipped", i)
+		}
+	}
+}
+
+func TestWriteOptionsRoundTrip(t *testing.T) {
+	m := core.NewDVV()
+	cases := []WriteOptions{
+		{},
+		{Level: LevelAll},
+		{W: 2},
+		{Context: sessionCtx(m)},
+		{Level: LevelOne, Context: sessionCtx(m), Session: sessionCtx(m)},
+	}
+	for i, o := range cases {
+		w := codec.NewWriter(64)
+		EncodeWriteOptions(w, m, o)
+		r := codec.NewReader(w.Bytes())
+		got, err := DecodeWriteOptions(m, r)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		r.ExpectEOF()
+		if r.Err() != nil {
+			t.Fatalf("case %d: trailing bytes: %v", i, r.Err())
+		}
+		if got.Level != o.Level || got.W != o.W {
+			t.Fatalf("case %d: got %+v want %+v", i, got, o)
+		}
+		// A nil Context encodes as (and decodes to) the empty context.
+		if got.Context == nil {
+			t.Fatalf("case %d: decoded Context is nil", i)
+		}
+		if (got.Session == nil) != (o.Session == nil) {
+			t.Fatalf("case %d: session presence flipped", i)
+		}
+	}
+}
+
+func TestDecodeOptionsRejectsNonCanonical(t *testing.T) {
+	m := core.NewDVV()
+	// Level and explicit override are mutually exclusive on the wire;
+	// unknown levels and absurd overrides are corrupt.
+	bad := [][]byte{
+		{4, 0, 0, 0},                            // level beyond LevelAll
+		{1, 2, 0, 0},                            // level one + override together
+		{0, 0xff, 0xff, 0xff, 0xff, 0x7f, 0, 0}, // oversized override
+		{0, 0, 2, 0},                            // non-canonical bool
+	}
+	for i, frame := range bad {
+		if _, err := DecodeReadOptions(m, codec.NewReader(frame)); err == nil {
+			t.Errorf("read case %d: decoded %x without error", i, frame)
+		}
+	}
+}
+
+func TestContextTokenRoundTrip(t *testing.T) {
+	m := core.NewDVV()
+	// nil and empty tokens mean the empty context.
+	for _, tok := range [][]byte{nil, {}} {
+		ctx, err := DecodeContextToken(m, tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := EncodeContextToken(m, ctx); len(got) != len(EncodeContextToken(m, m.EmptyContext())) {
+			t.Fatalf("empty token decoded to non-empty context: %x", got)
+		}
+	}
+	ctx := sessionCtx(m)
+	tok := EncodeContextToken(m, ctx)
+	back, err := DecodeContextToken(m, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeContextToken(m, back), tok) {
+		t.Fatalf("token round trip drifted: %x -> %x", tok, EncodeContextToken(m, back))
+	}
+	// Trailing garbage after a valid context is rejected.
+	if _, err := DecodeContextToken(m, append(bytes.Clone(tok), 0x01)); err == nil {
+		t.Fatal("token with trailing bytes decoded without error")
+	}
+}
+
+func TestIsNotFound(t *testing.T) {
+	if !IsNotFound(ErrNotFound) {
+		t.Fatal("ErrNotFound itself")
+	}
+	if !IsNotFound(fmt.Errorf("%w: %q", ErrNotFound, "k")) {
+		t.Fatal("wrapped ErrNotFound")
+	}
+	// The error crosses the transport as a string; IsNotFound must still
+	// recognise it.
+	if !IsNotFound(errors.New(`rpc: node: key not found: "k"`)) {
+		t.Fatal("transport-flattened ErrNotFound")
+	}
+	if IsNotFound(nil) || IsNotFound(errors.New("boom")) {
+		t.Fatal("false positive")
+	}
+}
+
+func encodeReadOptsBytes(m core.Mechanism, o ReadOptions) []byte {
+	w := codec.NewWriter(64)
+	EncodeReadOptions(w, m, o)
+	return w.Bytes()
+}
+
+func encodeWriteOptsBytes(m core.Mechanism, o WriteOptions) []byte {
+	w := codec.NewWriter(64)
+	EncodeWriteOptions(w, m, o)
+	return w.Bytes()
+}
+
+// FuzzDecodeReadOptions: decoding arbitrary bytes never panics, and every
+// accepted frame re-encodes to the identical bytes (canonical form).
+func FuzzDecodeReadOptions(f *testing.F) {
+	m := core.NewDVV()
+	f.Add(encodeReadOptsBytes(m, ReadOptions{}))
+	f.Add(encodeReadOptsBytes(m, ReadOptions{Level: LevelOne, NotFoundOK: true}))
+	f.Add(encodeReadOptsBytes(m, ReadOptions{R: 3}))
+	f.Add(encodeReadOptsBytes(m, ReadOptions{Session: vv.From("a", 1)}))
+	f.Add([]byte{4, 0, 0, 0}) // bad level
+	f.Add([]byte{1, 1, 0, 0}) // level + override
+	f.Add([]byte{0, 0, 1, 1}) // session flag without context
+	f.Add([]byte{0xff, 0xff}) // truncated varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := codec.NewReader(data)
+		o, err := DecodeReadOptions(m, r)
+		if err != nil {
+			return
+		}
+		r.ExpectEOF()
+		if r.Err() != nil {
+			return
+		}
+		out := encodeReadOptsBytes(m, o)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode mismatch: %x -> %+v -> %x", data, o, out)
+		}
+	})
+}
+
+// FuzzDecodeWriteOptions mirrors FuzzDecodeReadOptions for the put frame
+// section.
+func FuzzDecodeWriteOptions(f *testing.F) {
+	m := core.NewDVV()
+	f.Add(encodeWriteOptsBytes(m, WriteOptions{}))
+	f.Add(encodeWriteOptsBytes(m, WriteOptions{Level: LevelAll}))
+	f.Add(encodeWriteOptsBytes(m, WriteOptions{W: 2, Context: vv.From("a", 4)}))
+	f.Add(encodeWriteOptsBytes(m, WriteOptions{Context: vv.From("a", 1), Session: vv.From("b", 2)}))
+	f.Add([]byte{4, 0, 0, 0})
+	f.Add([]byte{2, 1, 0, 0})
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := codec.NewReader(data)
+		o, err := DecodeWriteOptions(m, r)
+		if err != nil {
+			return
+		}
+		r.ExpectEOF()
+		if r.Err() != nil {
+			return
+		}
+		out := encodeWriteOptsBytes(m, o)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode mismatch: %x -> %+v -> %x", data, o, out)
+		}
+	})
+}

@@ -86,7 +86,7 @@ func TestReadRepairIgnoresOwnConcurrentWrites(t *testing.T) {
 	co := nodes[0] // owns every key: N = cluster size
 	key := "hot-key"
 	m := core.NewDVV()
-	if _, err := co.CoordinatePut(context.Background(), key, m.EmptyContext(), []byte("v1"), "c1"); err != nil {
+	if _, err := co.CoordinatePut(context.Background(), key, []byte("v1"), "c1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// All three replicas now hold identical state for the key.
@@ -104,7 +104,7 @@ func TestReadRepairIgnoresOwnConcurrentWrites(t *testing.T) {
 		}
 	}
 	rm.armed.Store(true)
-	rr, err := co.CoordinateGet(context.Background(), key)
+	rr, err := co.CoordinateGet(context.Background(), key, ReadOptions{NotFoundOK: true})
 	if err != nil {
 		t.Fatal(err)
 	}

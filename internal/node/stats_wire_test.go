@@ -1,0 +1,81 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsFieldsCoverEveryCounter is the drift regression for the stats
+// wire format: every uint64 field of Stats must appear in the shared
+// statsFields table exactly once. Adding a counter to the struct without
+// listing it in statsFields (or listing one twice) fails here — the
+// failure mode the old pair of order-coupled encode/decode slices made
+// silent.
+func TestStatsFieldsCoverEveryCounter(t *testing.T) {
+	var st Stats
+	fields := statsFields(&st)
+
+	// Count the uint64 fields of Stats by reflection (multi-name
+	// declarations like "ClientGets, ClientPuts uint64" are separate
+	// fields to reflect, so this counts each counter once).
+	typ := reflect.TypeOf(st)
+	var counters int
+	for i := 0; i < typ.NumField(); i++ {
+		if typ.Field(i).Type.Kind() == reflect.Uint64 {
+			counters++
+		}
+	}
+	if len(fields) != counters {
+		t.Fatalf("statsFields lists %d counters, Stats has %d uint64 fields — add the new field to statsFields (wire order matters: append only)",
+			len(fields), counters)
+	}
+
+	// No pointer may repeat: a counter listed twice would decode the
+	// frame shifted from the second occurrence on.
+	seen := make(map[*uint64]bool, len(fields))
+	for i, p := range fields {
+		if p == nil {
+			t.Fatalf("statsFields[%d] is nil", i)
+		}
+		if seen[p] {
+			t.Fatalf("statsFields[%d] repeats a field pointer", i)
+		}
+		seen[p] = true
+	}
+}
+
+// TestStatsWireRoundTrip encodes a Stats with a distinct sentinel in every
+// counter and checks the decode reproduces it exactly. Together with
+// TestStatsFieldsCoverEveryCounter this pins the whole frame: every field
+// is on the wire, in one order, read back into the same field.
+func TestStatsWireRoundTrip(t *testing.T) {
+	var st Stats
+	for i, p := range statsFields(&st) {
+		*p = uint64(1000 + i*7) // distinct per field, so swaps are visible
+	}
+	st.Engine = "tiered"
+
+	got, err := DecodeStats(EncodeStats(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatalf("stats round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+// TestDecodeStatsRejectsTruncation: a frame cut anywhere must error, not
+// silently zero-fill the tail.
+func TestDecodeStatsRejectsTruncation(t *testing.T) {
+	var st Stats
+	for _, p := range statsFields(&st) {
+		*p = 300 // two varint bytes each, so every cut lands mid-frame
+	}
+	st.Engine = "memory"
+	frame := EncodeStats(st)
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeStats(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(frame))
+		}
+	}
+}

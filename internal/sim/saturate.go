@@ -252,7 +252,7 @@ func runSaturateOne(cfg SaturateConfig, kind string, clients int) (SaturateResul
 					errCnt.Add(1)
 					continue
 				}
-				body := node.EncodePutRequest(mech, key, sess, value, self)
+				body := node.EncodePutRequest(mech, key, value, self, node.WriteOptions{Context: sess})
 				cctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 				t0 := time.Now()
 				resp, err := tr.Send(cctx, self, coord, transport.Request{

@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// TestSessionConvergence is the E6 acceptance gate, across three seeds:
+//
+//   - DVV and DVVSet with sessions: CLEAN — zero lost acked writes, zero
+//     false conflicts;
+//   - server-side VV with sessions: DIVERGED with lost updates (the
+//     Figure-1 anomaly survives session discipline, because the clock
+//     itself cannot tell the racing clients apart);
+//   - DVV with blind writes: DIVERGED with false conflicts (the contexts
+//     are what discards superseded siblings, not the mechanism alone);
+//   - the level-one probe holds for every row: converged session reads
+//     cost zero SessionWaits and zero repl.gets (also asserted in-run by
+//     RunSessions itself, which errors on a nonzero delta).
+func TestSessionConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed cluster experiment")
+	}
+	for _, seed := range []int64{29, 101, 4242} {
+		cfg := DefaultSessionsConfig()
+		cfg.Seed = seed
+		results, _, err := RunSessions(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(results) != 4 {
+			t.Fatalf("seed %d: %d rows, want 4", seed, len(results))
+		}
+		for _, r := range results {
+			r := r
+			switch {
+			case r.Mode == "sessions" && (r.Mechanism == "dvv" || r.Mechanism == "dvvset"):
+				if !r.Clean() {
+					t.Errorf("seed %d: %s/%s diverged: %+v", seed, r.Mechanism, r.Mode, r)
+				}
+			case r.Mode == "sessions" && r.Mechanism == "servervv":
+				if r.Lost == 0 {
+					t.Errorf("seed %d: servervv lost no acked writes — the baseline anomaly did not reproduce: %+v", seed, r)
+				}
+			case r.Mode == "blind":
+				if r.FalseConflicts == 0 {
+					t.Errorf("seed %d: blind writes produced no false conflicts — supersession happened without contexts?: %+v", seed, r)
+				}
+			default:
+				t.Errorf("seed %d: unexpected row %s/%s", seed, r.Mechanism, r.Mode)
+			}
+			if r.ProbeWaits != 0 || r.ProbeReplGets != 0 {
+				t.Errorf("seed %d: %s/%s: level-one probe not free: %d waits, %d repl.gets",
+					seed, r.Mechanism, r.Mode, r.ProbeWaits, r.ProbeReplGets)
+			}
+			if r.ProbeReads == 0 {
+				t.Errorf("seed %d: %s/%s: probe never ran", seed, r.Mechanism, r.Mode)
+			}
+		}
+	}
+}
