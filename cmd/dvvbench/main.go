@@ -18,8 +18,10 @@
 //	dvvbench -experiment tiered         # D4: bounded-memory tiered engine vs all-memory
 //	dvvbench -experiment merkle         # E5: anti-entropy repair cost, scan vs digest vs hash-tree walk
 //	dvvbench -experiment sessions       # E6: causal sessions + per-request consistency levels
+//	dvvbench -experiment overload       # E7: open-loop overload + sick replica, protected vs unprotected
 //	dvvbench -churn                     # shorthand for -experiment churn
 //	dvvbench -experiment nemesis -seed 7  # any experiment, reproducible fault/workload schedule
+//	dvvbench -experiment nemesis -skew 30s  # nemesis with ±30s clock skew across nodes
 //	dvvbench -experiment riak -csv      # CSV instead of aligned text
 //	dvvbench -json > BENCH_N.json       # machine-readable snapshot of all tables
 package main
@@ -45,7 +47,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dvvbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|nemesis|tiered|merkle|sessions|all")
+		experiment = fs.String("experiment", "all", "fig1|verdict|compare|metadata|siblings|riak|pruning|ablation|churn|crash|durability|saturate|nemesis|tiered|merkle|sessions|overload|all")
 		churn      = fs.Bool("churn", false, "shorthand for -experiment churn (elastic membership scenario)")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document with every table (for BENCH_*.json trajectory snapshots)")
@@ -54,6 +56,7 @@ func run(args []string) error {
 		clients    = fs.Int("clients", 0, "override client count (riak)")
 		nodes      = fs.Int("nodes", 0, "override node count (riak)")
 		shards     = fs.Int("shards", 0, "override storage lock shards per node (riak, 0 = default)")
+		skew       = fs.Duration("skew", 0, "inject ±skew clock offsets across nodes (nemesis)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -222,7 +225,22 @@ func run(args []string) error {
 			if *shards > 0 {
 				cfg.StoreShards = *shards
 			}
+			cfg.ClockSkew = *skew
 			_, table, err := sim.RunNemesis(cfg)
+			if err != nil {
+				return err
+			}
+			emit(table)
+		case "overload":
+			cfg := sim.DefaultOverloadConfig()
+			cfg.Seed = *seed
+			if *nodes > 0 {
+				cfg.Nodes = *nodes
+			}
+			if *shards > 0 {
+				cfg.StoreShards = *shards
+			}
+			_, table, err := sim.RunOverload(cfg)
 			if err != nil {
 				return err
 			}
@@ -254,7 +272,7 @@ func run(args []string) error {
 		*experiment = "churn"
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate", "nemesis", "merkle", "sessions"} {
+		for _, name := range []string{"fig1", "verdict", "compare", "metadata", "siblings", "riak", "pruning", "ablation", "churn", "crash", "durability", "tiered", "saturate", "nemesis", "merkle", "sessions", "overload"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -104,6 +104,13 @@ func serve(args []string) error {
 		budget = fs.Int64("mem-budget", 0, "tiered engine hot-cache byte budget (0 = default 64 MiB)")
 		aeMode = fs.String("ae", "tree", "anti-entropy exchange: tree (incremental hash-tree walk), digest (legacy Merkle leaf dump) or scan (flat key/hash exchange)")
 		trans  = fs.String("transport", "mux", "wire transport: mux (multiplexed, one conn per peer pair) or lockstep (one exchange per pooled conn); every node and client must agree")
+
+		maxInflight = fs.Int("max-inflight", 0, "admission control: max in-flight coordinator requests; excess queue briefly, then shed with an overload error (0 disables)")
+		queueTarget = fs.Duration("queue-target", 0, "admission queue-delay bound before a queued request is shed (with -max-inflight; 0 = 5ms)")
+		brkFails    = fs.Int("breaker-failures", 0, "per-peer circuit breaker: consecutive replica-RPC failures before the breaker opens (0 disables breakers)")
+		brkCooldown = fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before one half-open probe (with -breaker-failures; 0 = 100ms)")
+		hedged      = fs.Bool("hedged-reads", false, "hedge quorum reads: contact need-1 replicas, launch one extra after the p99-derived hedge delay")
+		brownout    = fs.Bool("brownout", false, "serve default-level reads from the local snapshot while shedding (degraded but session-consistent) instead of failing them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,6 +157,12 @@ func serve(args []string) error {
 		Engine:              *engine,
 		MemBudget:           *budget,
 		AEMode:              *aeMode,
+		MaxInFlight:         *maxInflight,
+		QueueTarget:         *queueTarget,
+		BreakerFailures:     *brkFails,
+		BreakerCooldown:     *brkCooldown,
+		HedgedReads:         *hedged,
+		Brownout:            *brownout,
 	})
 	if err != nil {
 		return err

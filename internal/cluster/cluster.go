@@ -87,6 +87,43 @@ type Config struct {
 	// node.Config.AEMode): empty or "tree" walks the incremental hash
 	// tree; "digest" and "scan" are the legacy baselines.
 	AEMode string
+
+	// Overload plane (see the matching node.Config fields): admission
+	// control per node (MaxInFlight/QueueTarget), per-peer circuit
+	// breakers (BreakerFailures/BreakerCooldown/BreakerLatency), hedged
+	// quorum reads and brownout degradation.
+	MaxInFlight     int
+	QueueTarget     time.Duration
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	BreakerLatency  time.Duration
+	HedgedReads     bool
+	Brownout        bool
+
+	// ClientRetries lets clients retry a failed Get/Put up to this many
+	// extra attempts, gated by the cluster-wide retry budget. 0 keeps
+	// the pre-PR-10 behaviour: one attempt, errors surface to the caller.
+	ClientRetries int
+
+	// RetryBudget is the token-bucket earn rate: every issued client
+	// request earns this many retry tokens (capped), every retry spends
+	// one, so retries stay ≤ ~RetryBudget of issued load instead of
+	// amplifying an overload. 0 means 0.1 when ClientRetries > 0;
+	// negative means unlimited retries (the A/B "unprotected" shape).
+	RetryBudget float64
+
+	// ClientEjection enables client-side coordinator outlier ejection:
+	// after a request to a coordinator fails with overload pushback, a
+	// timeout or an unreachable transport, clients whose routing policy
+	// has a choice (RouteOwner, RouteRandom) prefer other candidates for
+	// this window. 0 disables (every pick stays uniformly random).
+	ClientEjection time.Duration
+
+	// ClockSkew, when non-nil, offsets each node's wall clock by the
+	// returned duration (the clock-skew nemesis): dot-issuance stamps,
+	// suspicion windows and redelivery backoff all run on the skewed
+	// clock. Causality must not care; the E4 skew variant asserts it.
+	ClockSkew func(id dot.ID) time.Duration
 }
 
 // Cluster is a set of replica nodes sharing a ring and transport.
@@ -100,6 +137,12 @@ type Cluster struct {
 	timeout   time.Duration
 	ownsT     bool
 	cfg       Config // normalised construction config, reused by AddNode
+	// retry is the cluster-wide client retry budget (see retry.go);
+	// nil when Config.ClientRetries is 0.
+	retry *retryBudget
+	// eject is the client-side coordinator outlier map (see eject.go);
+	// nil when Config.ClientEjection is 0.
+	eject *ejector
 
 	mu      sync.Mutex
 	clients int
@@ -167,6 +210,12 @@ func New(cfg Config) (*Cluster, error) {
 		seedSeq:    int64(cfg.Nodes), // startup nodes used offsets 0..Nodes-1
 		restarting: make(map[dot.ID]bool),
 	}
+	if cfg.ClientRetries > 0 {
+		c.retry = newRetryBudget(cfg.RetryBudget)
+	}
+	if cfg.ClientEjection > 0 {
+		c.eject = newEjector(cfg.ClientEjection)
+	}
 	for i, id := range ids {
 		n, err := c.startNode(id, int64(i))
 		if err != nil {
@@ -185,6 +234,12 @@ func (c *Cluster) startNode(id dot.ID, seedOffset int64) (*node.Node, error) {
 	dataDir := ""
 	if c.cfg.DataRoot != "" {
 		dataDir = filepath.Join(c.cfg.DataRoot, string(id))
+	}
+	var nowFn func() time.Time
+	if c.cfg.ClockSkew != nil {
+		if skew := c.cfg.ClockSkew(id); skew != 0 {
+			nowFn = func() time.Time { return time.Now().Add(skew) }
+		}
 	}
 	return node.New(node.Config{
 		ID:                  id,
@@ -208,6 +263,14 @@ func (c *Cluster) startNode(id dot.ID, seedOffset int64) (*node.Node, error) {
 		MemBudget:           c.cfg.MemBudget,
 		AEMode:              c.cfg.AEMode,
 		Seed:                c.cfg.Seed + seedOffset,
+		MaxInFlight:         c.cfg.MaxInFlight,
+		QueueTarget:         c.cfg.QueueTarget,
+		BreakerFailures:     c.cfg.BreakerFailures,
+		BreakerCooldown:     c.cfg.BreakerCooldown,
+		BreakerLatency:      c.cfg.BreakerLatency,
+		HedgedReads:         c.cfg.HedgedReads,
+		Brownout:            c.cfg.Brownout,
+		Now:                 nowFn,
 	})
 }
 
@@ -512,13 +575,13 @@ func (cl *Client) target(key string) (dot.ID, error) {
 		if len(members) == 0 {
 			return "", errors.New("cluster: no members")
 		}
-		return members[cl.rng.Intn(len(members))], nil
+		return cl.pick(members), nil
 	case RouteOwner:
 		pref := cl.cluster.Ring.Preference(key, cl.cluster.cfg.N)
 		if len(pref) == 0 {
 			return "", errors.New("cluster: no members")
 		}
-		return pref[cl.rng.Intn(len(pref))], nil
+		return cl.pick(pref), nil
 	default:
 		id, ok := cl.cluster.Ring.Coordinator(key)
 		if !ok {
@@ -526,6 +589,25 @@ func (cl *Client) target(key string) (dot.ID, error) {
 		}
 		return id, nil
 	}
+}
+
+// pick chooses a uniformly random candidate, preferring ones not
+// currently ejected by the client-side outlier detector (eject.go).
+// When every candidate is ejected the full list is used, so that pick
+// doubles as the recovery probe.
+func (cl *Client) pick(cands []dot.ID) dot.ID {
+	if e := cl.cluster.eject; e != nil {
+		healthy := cands[:0:0]
+		for _, id := range cands {
+			if !e.avoided(id) {
+				healthy = append(healthy, id)
+			}
+		}
+		if len(healthy) > 0 {
+			return healthy[cl.rng.Intn(len(healthy))]
+		}
+	}
+	return cands[cl.rng.Intn(len(cands))]
 }
 
 func (cl *Client) session(key string) core.Context {
@@ -574,24 +656,40 @@ func (cl *Client) Get(ctx context.Context, key string) ([][]byte, error) {
 // context is also folded into the client's session, so later Put calls
 // supersede what this read observed.
 func (cl *Client) GetWith(ctx context.Context, key string, opts node.ReadOptions) ([][]byte, Token, error) {
-	to, err := cl.target(key)
-	if err != nil {
-		return nil, nil, err
-	}
-	cctx, cancel := context.WithTimeout(ctx, cl.cluster.timeout)
-	defer cancel()
-	resp, err := cl.cluster.Transport.Send(cctx, cl.ID, to, transport.Request{
-		Method: node.MethodGet, Body: node.EncodeGetRequest(cl.cluster.mech, key, opts),
+	var rr core.ReadResult
+	// Each attempt re-picks its target, so under RouteOwner/RouteRandom a
+	// budgeted retry after an overloaded coordinator lands elsewhere.
+	err := cl.withRetries(func() error {
+		to, err := cl.target(key)
+		if err != nil {
+			return err
+		}
+		cctx, cancel := context.WithTimeout(ctx, cl.cluster.timeout)
+		defer cancel()
+		resp, err := cl.cluster.Transport.Send(cctx, cl.ID, to, transport.Request{
+			Method: node.MethodGet, Body: node.EncodeGetRequest(cl.cluster.mech, key, opts),
+		})
+		if err != nil {
+			// Transport-level failure (timeout, unreachable): the
+			// coordinator itself wasted this client's time — eject it.
+			// App-level errors below, including orderly ErrOverload
+			// pushback, do not eject: they are cheap fast-fails the
+			// retry budget already handles, and at uniform overload
+			// ejecting every shedding node just sloshes load around.
+			cl.cluster.noteEject(to)
+			return fmt.Errorf("cluster: get %q: %w", key, err)
+		}
+		if aerr := transport.AppError(resp); aerr != nil {
+			return fmt.Errorf("cluster: get %q: %w", key, aerr)
+		}
+		rr, err = node.DecodeReadResult(cl.cluster.mech, resp.Body)
+		if err != nil {
+			return fmt.Errorf("cluster: get %q: %w", key, err)
+		}
+		return nil
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: get %q: %w", key, err)
-	}
-	if aerr := transport.AppError(resp); aerr != nil {
-		return nil, nil, fmt.Errorf("cluster: get %q: %w", key, aerr)
-	}
-	rr, err := node.DecodeReadResult(cl.cluster.mech, resp.Body)
-	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: get %q: %w", key, err)
+		return nil, nil, err
 	}
 	if err := cl.adopt(key, rr.Ctx); err != nil {
 		return nil, nil, err
@@ -622,25 +720,41 @@ func (cl *Client) PutWith(ctx context.Context, key string, value []byte, token T
 	if opts.Context == nil {
 		opts.Context = cl.session(key)
 	}
-	to, err := cl.target(key)
-	if err != nil {
-		return nil, err
-	}
-	cctx, cancel := context.WithTimeout(ctx, cl.cluster.timeout)
-	defer cancel()
-	resp, err := cl.cluster.Transport.Send(cctx, cl.ID, to, transport.Request{
-		Method: node.MethodPut,
-		Body:   node.EncodePutRequest(cl.cluster.mech, key, value, cl.ID, opts),
+	var rr core.ReadResult
+	// Retrying a put with the same causal context is safe: a duplicate
+	// execution mints a sibling carrying the same value, which the
+	// context of any later read supersedes (the RouteOwner doc covers
+	// the same property for network-duplicated puts).
+	err := cl.withRetries(func() error {
+		to, err := cl.target(key)
+		if err != nil {
+			return err
+		}
+		cctx, cancel := context.WithTimeout(ctx, cl.cluster.timeout)
+		defer cancel()
+		resp, err := cl.cluster.Transport.Send(cctx, cl.ID, to, transport.Request{
+			Method: node.MethodPut,
+			Body:   node.EncodePutRequest(cl.cluster.mech, key, value, cl.ID, opts),
+		})
+		if err != nil {
+			cl.cluster.noteEject(to) // same rule as GetWith: transport failures only
+			return fmt.Errorf("cluster: put %q: %w", key, err)
+		}
+		if aerr := transport.AppError(resp); aerr != nil {
+			return fmt.Errorf("cluster: put %q: %w", key, aerr)
+		}
+		rr, err = node.DecodeReadResult(cl.cluster.mech, resp.Body)
+		if err != nil {
+			return fmt.Errorf("cluster: put %q: %w", key, err)
+		}
+		// A successful write is the one signal that readmits an ejected
+		// coordinator (reads do not: a node with a wedged WAL still
+		// answers reads promptly).
+		cl.cluster.noteWriteOK(to)
+		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("cluster: put %q: %w", key, err)
-	}
-	if aerr := transport.AppError(resp); aerr != nil {
-		return nil, fmt.Errorf("cluster: put %q: %w", key, aerr)
-	}
-	rr, err := node.DecodeReadResult(cl.cluster.mech, resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: put %q: %w", key, err)
+		return nil, err
 	}
 	if err := cl.adopt(key, rr.Ctx); err != nil {
 		return nil, err

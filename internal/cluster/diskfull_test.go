@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// TestNodeRefusesWritesOnFullDisk is the ENOSPC regression at the node
+// level, over both engines: with every replica's disk full, a client put
+// is refused with the typed ErrDiskFull (recognised across the transport
+// by flattened-string matching), nothing half-installs, reads keep
+// serving the pre-fault state, and clearing the fault restores writes.
+func TestNodeRefusesWritesOnFullDisk(t *testing.T) {
+	for _, engine := range []string{storage.EngineMemory, storage.EngineTiered} {
+		t.Run(engine, func(t *testing.T) {
+			c, err := New(Config{
+				Mech: core.NewDVV(), Nodes: 3, N: 3, R: 2, W: 2,
+				Timeout:  2 * time.Second,
+				DataRoot: t.TempDir(),
+				Engine:   engine,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			ctx := context.Background()
+			cl := c.NewClient("enospc", RouteCoordinator)
+			if err := cl.Put(ctx, "k", []byte("before")); err != nil {
+				t.Fatal(err)
+			}
+
+			faults := make([]*storage.Faults, len(c.Nodes))
+			for i, n := range c.Nodes {
+				faults[i] = &storage.Faults{}
+				faults[i].FailWrites(true)
+				n.Store().InjectFaults(faults[i])
+			}
+
+			err = cl.Put(ctx, "k", []byte("during"))
+			if err == nil {
+				t.Fatal("put succeeded with every disk full")
+			}
+			if !storage.IsDiskFull(err) {
+				t.Fatalf("want a typed disk-full error across the wire, got: %v", err)
+			}
+			// Reads are unaffected and serve exactly the pre-fault state.
+			vals, err := cl.Get(ctx, "k")
+			if err != nil {
+				t.Fatalf("read during disk-full: %v", err)
+			}
+			if len(vals) != 1 || string(vals[0]) != "before" {
+				t.Fatalf("read during disk-full returned %q, want [before]", vals)
+			}
+
+			for _, f := range faults {
+				f.FailWrites(false)
+			}
+			if err := cl.Put(ctx, "k", []byte("after")); err != nil {
+				t.Fatalf("put after space freed: %v", err)
+			}
+			vals, err = cl.Get(ctx, "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vals) != 1 || string(vals[0]) != "after" {
+				t.Fatalf("final read %q, want [after]", vals)
+			}
+		})
+	}
+}

@@ -1,0 +1,13 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the whole package on the goroutine-leak checker (see
+// internal/leakcheck): client retries, session floors and failure-mode
+// tests cancel a lot of in-flight RPCs, and none of them may strand a
+// goroutine past test exit.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,130 @@
+package cluster
+
+// Client retry budget: a token bucket shared by every client of a
+// cluster. Retrying a failed request is the single biggest overload
+// amplifier a client library ships — a cluster at 1.1x capacity that
+// fails 10% of requests and retries each one once is suddenly offered
+// 1.2x, fails more, retries more, and convoys itself to death. The
+// budget caps that feedback loop: every first attempt earns a fraction
+// of a retry token (Config.RetryBudget, default 0.1), every retry
+// spends a whole one, so cluster-wide retries stay at or below ~10% of
+// issued load no matter how hard the error rate spikes. When the
+// bucket is empty the original error surfaces to the caller
+// immediately — under overload that is the correct answer, and the
+// E7 experiment's unprotected arm (RetryBudget < 0, unlimited) shows
+// what happens otherwise.
+
+import (
+	"sync"
+)
+
+// defaultRetryRate is the tokens earned per issued request when
+// Config.RetryBudget is 0 and retries are enabled: retries ≤ 10%.
+const defaultRetryRate = 0.1
+
+// retryBudget is the cluster-wide token bucket. Earn on first
+// attempts, spend on retries; the bucket is capped so an idle hour
+// cannot bank an hour of retry storm.
+type retryBudget struct {
+	mu        sync.Mutex
+	tokens    float64
+	cap       float64
+	rate      float64
+	unlimited bool
+
+	issued  uint64 // first attempts
+	retries uint64 // extra attempts actually sent
+	denied  uint64 // retries refused for lack of tokens
+}
+
+func newRetryBudget(rate float64) *retryBudget {
+	b := &retryBudget{rate: rate}
+	if rate < 0 {
+		b.unlimited = true
+		return b
+	}
+	if rate == 0 {
+		b.rate = defaultRetryRate
+	}
+	// A small cap: enough to absorb a burst of sporadic failures,
+	// nowhere near enough to fuel a retry storm.
+	b.cap = 10
+	b.tokens = b.cap
+	return b
+}
+
+// earn records one issued (first-attempt) request.
+func (b *retryBudget) earn() {
+	b.mu.Lock()
+	b.issued++
+	if !b.unlimited {
+		b.tokens += b.rate
+		if b.tokens > b.cap {
+			b.tokens = b.cap
+		}
+	}
+	b.mu.Unlock()
+}
+
+// spend asks for one retry token; false means the retry must not be
+// sent.
+func (b *retryBudget) spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.unlimited {
+		b.retries++
+		return true
+	}
+	// The epsilon forgives float accumulation (ten 0.1-earns must buy
+	// exactly one retry).
+	if b.tokens < 1-1e-9 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	b.retries++
+	return true
+}
+
+// RetryStats is a snapshot of the cluster-wide retry budget.
+type RetryStats struct {
+	// Issued counts first attempts; Retries the extra attempts sent;
+	// Denied the retries refused because the budget was exhausted.
+	Issued, Retries, Denied uint64
+}
+
+// RetryStats snapshots the retry-budget counters (zero value when
+// client retries are disabled).
+func (c *Cluster) RetryStats() RetryStats {
+	if c.retry == nil {
+		return RetryStats{}
+	}
+	c.retry.mu.Lock()
+	defer c.retry.mu.Unlock()
+	return RetryStats{Issued: c.retry.issued, Retries: c.retry.retries, Denied: c.retry.denied}
+}
+
+// withRetries runs attempt up to 1+Config.ClientRetries times, gated
+// by the budget. attempt re-picks its target each time (so a retry
+// after an overloaded or broken coordinator lands elsewhere under
+// RouteOwner/RouteRandom). The last error is returned when every
+// allowed attempt fails.
+func (cl *Client) withRetries(attempt func() error) error {
+	b := cl.cluster.retry
+	if b != nil {
+		b.earn()
+	}
+	err := attempt()
+	if err == nil || b == nil {
+		return err
+	}
+	for r := 0; r < cl.cluster.cfg.ClientRetries; r++ {
+		if !b.spend() {
+			return err
+		}
+		if err = attempt(); err == nil {
+			return nil
+		}
+	}
+	return err
+}

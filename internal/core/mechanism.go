@@ -47,9 +47,18 @@ type ReadResult struct {
 // WriteInfo identifies the parties to a PUT: the coordinating replica
 // server and the writing client. DVV and server-VV consume Server; the
 // per-client schemes consume Client; the oracle uses Server for event ids.
+//
+// Stamp is the coordinator's wall-clock time (unix nanos) at dot
+// issuance — deliberately consumed by NO mechanism. Causality here is
+// tracked entirely by (server, counter) dots, so a skewed clock cannot
+// forge, hide or reorder causal history; the clock-skew nemesis drives
+// Stamp through ±30s offsets and asserts exactly that. It exists so the
+// proof is structural (the field is there to misuse, and nothing does)
+// and for operational logging.
 type WriteInfo struct {
 	Server dot.ID
 	Client dot.ID
+	Stamp  int64
 }
 
 // ErrBadContext reports a context value of the wrong dynamic type for the

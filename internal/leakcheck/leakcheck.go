@@ -1,0 +1,98 @@
+// Package leakcheck is a hand-rolled goroutine-leak detector for test
+// mains (the go.uber.org/goleak shape, without the dependency). After a
+// package's tests pass, Main takes repeated stack snapshots until every
+// goroutine running this repo's code has exited or a grace period
+// expires; whatever remains is reported with its full stack and fails
+// the run. The grace period absorbs goroutines that are legitimately
+// mid-teardown (a replica closing its anti-entropy ticker, a cancelled
+// RPC draining into a buffered channel); a goroutine still alive after
+// seconds of quiescence is a leak, not a straggler.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignored marks goroutines that are never leaks: the runtime's own
+// workers, the testing framework, and this checker itself.
+var ignored = []string{
+	// Only the checker's own frames — not the whole package, so its
+	// tests can still plant and detect deliberate leaks.
+	"repro/internal/leakcheck.Check",
+	"repro/internal/leakcheck.Main",
+	"repro/internal/leakcheck.suspects",
+	"testing.(*T).Run",
+	"testing.(*M).Run",
+	"testing.runTests",
+	"testing.(*F).Fuzz",
+	"runtime.goexit0",
+	"signal.signal_recv",
+	"runtime/trace",
+}
+
+// suspects returns the stack stanzas of goroutines currently executing
+// (or created by) this repo's non-test code.
+func suspects() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+stanza:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, "repro/") {
+			continue
+		}
+		for _, ig := range ignored {
+			if strings.Contains(g, ig) {
+				continue stanza
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Check polls until no repo goroutines remain or the grace period
+// expires, then returns an error describing the leaked goroutines.
+func Check(grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	var left []string
+	for {
+		left = suspects()
+		if len(left) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutine(s) still running repo code %v after the last test:\n\n%s",
+		len(left), grace, strings.Join(left, "\n\n"))
+}
+
+// Main wraps testing.M: run the package's tests, then fail the run if
+// anything leaked. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(5 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "leakcheck:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,38 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakyWorker blocks on its channel — a deliberate leak until released.
+func leakyWorker(release chan struct{}) {
+	<-release
+}
+
+func TestCheckDetectsAndClears(t *testing.T) {
+	release := make(chan struct{})
+	go leakyWorker(release)
+
+	err := Check(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("blocked repo goroutine not detected")
+	}
+	if !strings.Contains(err.Error(), "leakyWorker") {
+		t.Fatalf("report does not name the leaked goroutine:\n%v", err)
+	}
+
+	close(release)
+	if err := Check(2 * time.Second); err != nil {
+		t.Fatalf("released goroutine still reported: %v", err)
+	}
+}
+
+func TestCheckIgnoresTestingFramework(t *testing.T) {
+	// The test itself runs repo code (this package) under testing.tRunner;
+	// none of it may count as a leak.
+	if err := Check(time.Second); err != nil {
+		t.Fatalf("framework goroutines misreported: %v", err)
+	}
+}

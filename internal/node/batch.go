@@ -21,6 +21,7 @@ package node
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dot"
@@ -155,6 +156,11 @@ func (b *replBatcher) drain(q *peerQueue, err error) {
 // replPut. It returns how many items the frame consumed (≥ 1) and the
 // frame's fate.
 func (n *Node) sendReplBatch(peer dot.ID, items []batchItem) (int, error) {
+	if berr := n.breakerAllow(peer); berr != nil {
+		// Fail the whole frame fast: every item was bound for the same
+		// broken peer, and each caller's fallback/hint path handles it.
+		return min(len(items), n.cfg.ReplBatchKeys), berr
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Timeout)
 	defer cancel()
 	pw := getWriter() // payload: the (key, state) pairs, no count prefix yet
@@ -177,9 +183,11 @@ func (n *Node) sendReplBatch(peer dot.ID, items []batchItem) (int, error) {
 	defer putWriter(w)
 	w.Uvarint(uint64(count))
 	w.Append(pw.Bytes())
+	start := time.Now()
 	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
 		Method: MethodReplBatch, Body: w.Bytes(),
 	})
+	n.breakerReport(peer, time.Since(start), err)
 	if err != nil {
 		n.noteSendFailure(peer)
 		return count, err

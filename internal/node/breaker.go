@@ -1,0 +1,327 @@
+package node
+
+// Per-peer circuit breakers + latency outlier detection for the replica
+// RPC path (repl.get, repl.put, repl.batch).
+//
+// A slow-but-alive peer is worse than a dead one: every RPC to it holds
+// a coordinator goroutine for up to the full Config.Timeout, so under
+// load a single fsync-stalled replica convoys the whole node. The
+// breaker turns that cost into a one-time observation: after
+// Config.BreakerFailures consecutive failures, or once the peer's
+// latency EWMA crosses Config.BreakerLatency, the breaker opens and
+// further RPCs to the peer fail immediately (errBreakerOpen) — which the
+// existing machinery treats like any replication failure, engaging
+// sloppy fallbacks and hinted handoff instead of waiting. After
+// Config.BreakerCooldown a single half-open probe is let through; its
+// success closes the breaker (and, because probes ride the normal
+// repl.batch path, delivers real traffic), its failure re-opens it.
+//
+// The breaker set also keeps per-peer RPC latency accounting (all
+// completed sends, success or failure) and a sliding window of read RPC
+// latencies that derives the hedged-read delay. Both are maintained even
+// when breakers are disabled, so experiments can always ask "what did
+// talking to that peer actually cost".
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dot"
+)
+
+// errBreakerOpen marks a replica RPC refused because the peer's circuit
+// breaker is open — treated like any other replication failure
+// (fallback + hint), but resolved in microseconds instead of a timeout.
+var errBreakerOpen = errors.New("node: peer circuit breaker open")
+
+// Breaker defaults; see Config.BreakerFailures et al.
+const (
+	defaultBreakerCooldown = 100 * time.Millisecond
+	// ewmaAlpha weighs the newest latency sample in the peer EWMA.
+	ewmaAlpha = 0.2
+)
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// peerBreaker is one peer's breaker state plus RPC accounting.
+type peerBreaker struct {
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+	ewma        time.Duration
+
+	opens, fastFails, probes uint64
+	latSum                   time.Duration
+	latCount                 uint64
+}
+
+// breakerSet owns the per-peer breakers of one node.
+type breakerSet struct {
+	mu    sync.Mutex
+	peers map[dot.ID]*peerBreaker
+}
+
+func newBreakerSet() *breakerSet {
+	return &breakerSet{peers: make(map[dot.ID]*peerBreaker)}
+}
+
+func (b *breakerSet) get(peer dot.ID) *peerBreaker {
+	pb := b.peers[peer]
+	if pb == nil {
+		pb = &peerBreaker{}
+		b.peers[peer] = pb
+	}
+	return pb
+}
+
+// breakerEnabled reports whether the breaker plane is on.
+func (n *Node) breakerEnabled() bool { return n.cfg.BreakerFailures > 0 }
+
+// breakerAllow gates one replica RPC to peer. nil means send; an open
+// breaker fails fast with errBreakerOpen. When a cooled-down open
+// breaker is probed, the calling RPC *is* the probe: its report decides
+// whether the breaker closes or re-opens.
+func (n *Node) breakerAllow(peer dot.ID) error {
+	if !n.breakerEnabled() {
+		return nil
+	}
+	b := n.breakers
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pb := b.get(peer)
+	switch pb.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if time.Since(pb.openedAt) >= n.cfg.BreakerCooldown {
+			pb.state = breakerHalfOpen
+			pb.probing = true
+			pb.probes++
+			return nil
+		}
+	case breakerHalfOpen:
+		if !pb.probing {
+			pb.probing = true
+			pb.probes++
+			return nil
+		}
+	}
+	pb.fastFails++
+	return errBreakerOpen
+}
+
+// breakerReport records the outcome of one completed replica RPC to
+// peer: duration d (wall time of the Send) and sendErr (nil when the
+// transport delivered a response — an application-level error from a
+// live peer is still proof of life). Always maintains the latency
+// accounting; drives the breaker state machine only when enabled.
+func (n *Node) breakerReport(peer dot.ID, d time.Duration, sendErr error) {
+	b := n.breakers
+	b.mu.Lock()
+	pb := b.get(peer)
+	pb.latSum += d
+	pb.latCount++
+	if pb.ewma == 0 {
+		pb.ewma = d
+	} else {
+		pb.ewma = time.Duration(float64(pb.ewma)*(1-ewmaAlpha) + float64(d)*ewmaAlpha)
+	}
+	opened := false
+	if n.breakerEnabled() {
+		wasProbe := pb.state == breakerHalfOpen && pb.probing
+		if wasProbe {
+			pb.probing = false
+		}
+		if sendErr == nil {
+			pb.consecFails = 0
+			if wasProbe {
+				// Probe succeeded: close, and let the EWMA restart from
+				// this sample — the pre-outage history is stale evidence.
+				pb.state = breakerClosed
+				pb.ewma = d
+			}
+			if pb.state == breakerClosed && pb.ewma > n.cfg.BreakerLatency {
+				// Latency outlier: the peer answers, but each answer costs
+				// so much that waiting for it is the failure mode.
+				pb.state = breakerOpen
+				pb.openedAt = time.Now()
+				pb.opens++
+				opened = true
+			}
+		} else {
+			pb.consecFails++
+			if wasProbe || (pb.state == breakerClosed && pb.consecFails >= n.cfg.BreakerFailures) {
+				pb.state = breakerOpen
+				pb.openedAt = time.Now()
+				pb.opens++
+				opened = true
+			}
+		}
+	}
+	b.mu.Unlock()
+	if opened {
+		// Arm suspicion too: coordinators then route to fallback + hint
+		// without even consulting the breaker.
+		n.noteSendFailure(peer)
+	}
+}
+
+// breakerOpenNow reports whether peer's breaker currently refuses
+// traffic (open and still cooling down). Used to order read fan-outs.
+func (n *Node) breakerOpenNow(peer dot.ID) bool {
+	if !n.breakerEnabled() {
+		return false
+	}
+	b := n.breakers
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pb := b.peers[peer]
+	return pb != nil && pb.state == breakerOpen && time.Since(pb.openedAt) < n.cfg.BreakerCooldown
+}
+
+// BreakerSnapshot is one peer's breaker state and RPC accounting.
+type BreakerSnapshot struct {
+	State     string
+	Opens     uint64
+	FastFails uint64
+	Probes    uint64
+	RPCs      uint64
+	MeanRPC   time.Duration
+}
+
+// BreakerPeer returns peer's breaker snapshot (zero value if the node
+// never talked to it).
+func (n *Node) BreakerPeer(peer dot.ID) BreakerSnapshot {
+	b := n.breakers
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pb := b.peers[peer]
+	if pb == nil {
+		return BreakerSnapshot{State: breakerClosed.String()}
+	}
+	s := BreakerSnapshot{
+		State:     pb.state.String(),
+		Opens:     pb.opens,
+		FastFails: pb.fastFails,
+		Probes:    pb.probes,
+		RPCs:      pb.latCount,
+	}
+	if pb.latCount > 0 {
+		s.MeanRPC = pb.latSum / time.Duration(pb.latCount)
+	}
+	return s
+}
+
+// breakerTotals sums the breaker counters across peers (for Stats).
+func (b *breakerSet) totals() (opens, fastFails, probes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, pb := range b.peers {
+		opens += pb.opens
+		fastFails += pb.fastFails
+		probes += pb.probes
+	}
+	return
+}
+
+// orderHealthyFirst orders peers for a hedged fan-out: peers that are
+// neither suspected nor behind an open breaker first (in preference
+// order), the rest after — so the primaries are the replicas most
+// likely to answer fast, and known-slow peers are only reached by the
+// hedge or by failure promotion.
+func (n *Node) orderHealthyFirst(peers []dot.ID) []dot.ID {
+	out := make([]dot.ID, 0, len(peers))
+	var unhealthy []dot.ID
+	for _, p := range peers {
+		if n.Suspected(p) || n.breakerOpenNow(p) {
+			unhealthy = append(unhealthy, p)
+		} else {
+			out = append(out, p)
+		}
+	}
+	return append(out, unhealthy...)
+}
+
+// ---------------------------------------------------------------------------
+// Hedged-read delay: a sliding window of replica read latencies.
+// ---------------------------------------------------------------------------
+
+const (
+	hedgeWindow       = 256
+	hedgeMinSamples   = 8
+	defaultHedgeDelay = 5 * time.Millisecond
+	minHedgeDelay     = time.Millisecond
+)
+
+// latencyRing records recent successful replica-read RPC durations and
+// answers "how long is suspiciously long" (the p99) for hedging.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples [hedgeWindow]time.Duration
+	n, i    int
+}
+
+func (l *latencyRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.i] = d
+	l.i = (l.i + 1) % hedgeWindow
+	if l.n < hedgeWindow {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+func (l *latencyRing) p99() (time.Duration, bool) {
+	l.mu.Lock()
+	n := l.n
+	buf := make([]time.Duration, n)
+	copy(buf, l.samples[:n])
+	l.mu.Unlock()
+	if n < hedgeMinSamples {
+		return 0, false
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (n * 99) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx], true
+}
+
+// hedgeDelay is how long a hedged read waits for the primary fan-out
+// before contacting one extra replica: the observed read p99, clamped to
+// [1ms, Timeout/4], defaulting to 5ms until enough samples exist.
+func (n *Node) hedgeDelay() time.Duration {
+	d, ok := n.hedgeLat.p99()
+	if !ok {
+		d = defaultHedgeDelay
+	}
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if max := n.cfg.Timeout / 4; d > max {
+		d = max
+	}
+	return d
+}

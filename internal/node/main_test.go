@@ -1,0 +1,14 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the whole package on the goroutine-leak checker: after
+// the tests pass, no goroutine may still be running repo code. This is
+// the regression net for the cancellation paths the coordinator spawns —
+// awaitFloor's backoff timer, hedged/plain read fan-outs, hinted-handoff
+// redelivery — all of which must unwind when their context dies.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

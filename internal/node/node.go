@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/antientropy"
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -169,6 +170,53 @@ type Config struct {
 
 	// Seed makes peer selection reproducible.
 	Seed int64
+
+	// MaxInFlight bounds concurrently coordinated client requests
+	// (admission control): requests beyond it queue briefly and are shed
+	// with ErrOverload once their queue wait passes QueueTarget — CoDel
+	// style, a request that gets a slot without waiting is never shed.
+	// 0 disables admission control.
+	MaxInFlight int
+
+	// QueueTarget is the admission queue-delay bound (0 = 5ms) and
+	// MaxQueue the waiting-request cap (0 = 4x MaxInFlight); both only
+	// meaningful with MaxInFlight > 0.
+	QueueTarget time.Duration
+	MaxQueue    int
+
+	// BreakerFailures enables per-peer circuit breakers on the replica
+	// RPC path: after this many consecutive failed sends to a peer (or
+	// once its latency EWMA passes BreakerLatency) the breaker opens and
+	// RPCs to it fail fast to the sloppy-fallback/hint machinery instead
+	// of paying the timeout. 0 disables breakers (latency accounting
+	// stays on either way).
+	BreakerFailures int
+
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// letting one half-open probe through (0 = 100ms). BreakerLatency is
+	// the EWMA threshold for the latency-outlier trip (0 = Timeout/4).
+	BreakerCooldown time.Duration
+	BreakerLatency  time.Duration
+
+	// HedgedReads makes quorum reads contact need-1 replicas first and
+	// hedge one extra preference-list replica after a p99-derived delay,
+	// returning at quorum — bounded tail latency without extra
+	// steady-state load. Off, a read merges every reachable replica (the
+	// pre-hedging behaviour).
+	HedgedReads bool
+
+	// Brownout enables degraded reads under overload: while the
+	// admission controller is shedding, an explicit default-level read
+	// whose local snapshot already satisfies its session floor is served
+	// level-one-from-local (counted in Stats.BrownoutServed) instead of
+	// fanning out. Requires MaxInFlight > 0 to ever trigger.
+	Brownout bool
+
+	// Now injects the node's wall clock (nil = time.Now). Used for
+	// suspicion windows, redelivery backoff and dot-issuance stamps; the
+	// clock-skew nemesis offsets it per node to prove DVV correctness is
+	// timestamp-free.
+	Now func() time.Time
 }
 
 func (c *Config) validate() error {
@@ -209,6 +257,12 @@ func (c *Config) validate() error {
 	case "", AEModeTree, AEModeDigest, AEModeScan:
 	default:
 		return fmt.Errorf("node: unknown AEMode %q (want %s, %s or %s)", c.AEMode, AEModeTree, AEModeDigest, AEModeScan)
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = defaultBreakerCooldown
+	}
+	if c.BreakerLatency <= 0 {
+		c.BreakerLatency = c.Timeout / 4
 	}
 	return nil
 }
@@ -272,6 +326,28 @@ type Stats struct {
 	SessionWaits   uint64
 	SessionRetries uint64
 
+	// Overload plane (PR 10). Shed counts client requests rejected by
+	// admission control; QueueDelayP99 is the admission queue sojourn p99
+	// in nanoseconds over a sliding window (a gauge, not a counter).
+	// Both are filled from the admission.Controller at Stats() time and
+	// zero with admission disabled.
+	Shed          uint64
+	QueueDelayP99 uint64
+	// BreakerOpens counts circuit-breaker trips across peers;
+	// BreakerFastFails the replica RPCs refused while a breaker was
+	// open (each one a timeout not paid); BreakerProbes the half-open
+	// probes sent. Filled from the breaker set at Stats() time.
+	BreakerOpens     uint64
+	BreakerFastFails uint64
+	BreakerProbes    uint64
+	// HedgedReads counts extra replica reads launched after the hedge
+	// delay; HedgeWins those whose reply completed the read quorum.
+	HedgedReads uint64
+	HedgeWins   uint64
+	// BrownoutServed counts default-level reads served degraded (from
+	// the local snapshot) while the admission controller was shedding.
+	BrownoutServed uint64
+
 	// Engine-level store counters, filled from storage.Stats at Stats()
 	// time rather than bump-maintained. Engine names the storage engine;
 	// the cache/segment fields are zero on the memory engine.
@@ -293,6 +369,18 @@ type Node struct {
 	// batcher is the per-peer coalescing queue every replica-state push
 	// goes through (see batch.go); nil only before New finishes.
 	batcher *replBatcher
+
+	// admit sheds client coordinator requests under overload (see
+	// Config.MaxInFlight); nil when admission control is disabled.
+	admit *admission.Controller
+
+	// breakers holds the per-peer circuit breakers and RPC latency
+	// accounting (see breaker.go); always non-nil.
+	breakers *breakerSet
+
+	// hedgeLat samples replica-read RPC latencies; its p99 derives the
+	// hedged-read delay.
+	hedgeLat latencyRing
 
 	// repairSem admits background repair goroutines (read repair,
 	// post-leave hint re-routing) up to Config.RepairConcurrency.
@@ -373,7 +461,15 @@ func New(cfg Config) (*Node, error) {
 		suspect:   make(map[dot.ID]time.Time),
 		hintRetry: make(map[dot.ID]*retryState),
 		departed:  make(map[dot.ID]struct{}),
+		breakers:  newBreakerSet(),
 		done:      make(chan struct{}),
+	}
+	if cfg.MaxInFlight > 0 {
+		n.admit = admission.New(admission.Config{
+			MaxInFlight: cfg.MaxInFlight,
+			MaxQueue:    cfg.MaxQueue,
+			QueueTarget: cfg.QueueTarget,
+		})
 	}
 	n.batcher = newReplBatcher(n)
 	cfg.Transport.Register(cfg.ID, n.Handle)
@@ -408,7 +504,24 @@ func (n *Node) Stats() Stats {
 	st.Segments = uint64(es.Segments)
 	st.WALAppends = es.WALAppends
 	st.Checkpoints = es.Checkpoints
+	if n.admit != nil {
+		as := n.admit.Stats()
+		st.Shed = as.Shed
+		st.QueueDelayP99 = uint64(as.QueueDelayP99)
+	}
+	st.BreakerOpens, st.BreakerFastFails, st.BreakerProbes = n.breakers.totals()
 	return st
+}
+
+// now is the node's wall clock (Config.Now when injected, else
+// time.Now). Durations are always measured with the real monotonic
+// clock; now() is only for stamps and window arithmetic, where a
+// constant per-node skew must be — and is — harmless.
+func (n *Node) now() time.Time {
+	if n.cfg.Now != nil {
+		return n.cfg.Now()
+	}
+	return time.Now()
 }
 
 func (n *Node) bump(f func(*Stats)) {
@@ -555,12 +668,60 @@ func (n *Node) handleGet(ctx context.Context, body []byte) transport.Response {
 	if r.Err() != nil {
 		return fail(r.Err())
 	}
+	if n.admit != nil {
+		release, aerr := n.admit.Acquire(ctx)
+		if aerr != nil {
+			if errors.Is(aerr, admission.ErrOverload) {
+				// Brownout beats shedding for reads: a degraded local
+				// answer costs almost nothing, while an ErrOverload here
+				// kills a client operation whose expensive half is the
+				// write. Only work the controller actually refused —
+				// quorum fan-out, forwarding, floor waits — sheds.
+				if rr, ok := n.brownoutServe(key, opts); ok {
+					return transport.Response{Body: EncodeReadResult(n.cfg.Mech, rr)}
+				}
+				return fail(fmt.Errorf("%w (node %s)", ErrOverload, n.cfg.ID))
+			}
+			return fail(aerr)
+		}
+		defer release()
+	}
 	n.bump(func(s *Stats) { s.ClientGets++ })
 	rr, err := n.CoordinateGet(ctx, key, opts)
 	if err != nil {
 		return fail(err)
 	}
 	return transport.Response{Body: EncodeReadResult(n.cfg.Mech, rr)}
+}
+
+// brownoutServe attempts the degraded-read escape hatch for a SHED
+// default-level get: the admission controller refused the fan-out, but
+// when this node owns the key and its local snapshot satisfies the
+// session floor, a level-one-from-local answer costs almost nothing and
+// keeps the client's read-modify-write alive through the brownout.
+// Returns false when the read needs work admission just refused — a
+// non-owner forward, a floor wait, or a strict not-found — so those
+// still shed as ErrOverload.
+func (n *Node) brownoutServe(key string, opts ReadOptions) (core.ReadResult, bool) {
+	if !n.cfg.Brownout || opts.Level != LevelDefault || opts.R != 0 {
+		return core.ReadResult{}, false
+	}
+	pref := n.cfg.Ring.Preference(key, n.cfg.N)
+	if !containsID(pref, n.cfg.ID) {
+		return core.ReadResult{}, false
+	}
+	merged, _ := n.store.Snapshot(key)
+	if merged == nil {
+		if !opts.NotFoundOK {
+			return core.ReadResult{}, false
+		}
+		merged = n.cfg.Mech.NewState()
+	}
+	if ok, err := n.floorSatisfied(merged, opts.Session); err != nil || !ok {
+		return core.ReadResult{}, false
+	}
+	n.bump(func(s *Stats) { s.BrownoutServed++ })
+	return n.cfg.Mech.Read(merged), true
 }
 
 // CoordinateGet performs the coordinator-side read: merge replica states
@@ -620,6 +781,21 @@ func (n *Node) CoordinateGet(ctx context.Context, key string, opts ReadOptions) 
 		n.bump(func(s *Stats) { s.SessionWaits++ })
 	}
 
+	// Brownout: while the admission controller is shedding, an explicit
+	// default-level read whose local snapshot already satisfies the
+	// session floor is served level-one-from-local — the PR-9 fast path,
+	// applied as a degradation policy. The client sees a success (possibly
+	// staler than a quorum read would be, never older than its session);
+	// the node sheds the fan-out cost that was drowning it. Counted
+	// separately so reports show exactly what degraded.
+	if n.cfg.Brownout && n.admit != nil && opts.Level == LevelDefault && opts.R == 0 &&
+		need > 1 && (anyState || opts.NotFoundOK) && n.admit.Overloaded() {
+		if ok, err := n.floorSatisfied(merged, opts.Session); err == nil && ok {
+			n.bump(func(s *Stats) { s.BrownoutServed++ })
+			return n.cfg.Mech.Read(merged), nil
+		}
+	}
+
 	acks := 1 // local read
 	type reply struct {
 		peer  dot.ID
@@ -629,8 +805,7 @@ func (n *Node) CoordinateGet(ctx context.Context, key string, opts ReadOptions) 
 	}
 	peers := withoutID(pref, n.cfg.ID)
 	ch := make(chan reply, len(peers))
-	for _, p := range peers {
-		p := p
+	launch := func(p dot.ID) {
 		go func() {
 			st, found, err := n.replGet(cctx, p, key)
 			ch <- reply{peer: p, state: st, found: found, err: err}
@@ -638,11 +813,10 @@ func (n *Node) CoordinateGet(ctx context.Context, key string, opts ReadOptions) 
 	}
 	divergent := make([]dot.ID, 0, len(peers))
 	var missing []dot.ID
-	for range peers {
-		rep := <-ch
+	handle := func(rep reply) {
 		if rep.err != nil {
 			n.bump(func(s *Stats) { s.ReplFailures++ })
-			continue
+			return
 		}
 		acks++
 		if rep.found {
@@ -655,6 +829,60 @@ func (n *Node) CoordinateGet(ctx context.Context, key string, opts ReadOptions) 
 			}
 		} else {
 			missing = append(missing, rep.peer)
+		}
+	}
+	if n.cfg.HedgedReads && need > 1 && need-1 < len(peers) {
+		// Hedged quorum read: contact need-1 replicas (healthy ones
+		// first), and if quorum hasn't been met after the p99-derived
+		// hedge delay, launch ONE extra preference-list replica. Return
+		// at quorum; stragglers are cancelled by the deferred cctx cancel
+		// (their replies land in the buffered channel and are dropped).
+		// A failed reply frees its slot immediately — failures hedge for
+		// free. Peers never contacted are never judged divergent, and
+		// anti-entropy covers whatever a quorum-exit read didn't merge.
+		ordered := n.orderHealthyFirst(peers)
+		next, outstanding := 0, 0
+		launchNext := func() {
+			if next < len(ordered) {
+				launch(ordered[next])
+				next++
+				outstanding++
+			}
+		}
+		for i := 0; i < need-1; i++ {
+			launchNext()
+		}
+		hedge := time.NewTimer(n.hedgeDelay())
+		defer hedge.Stop()
+		hedgedAt := -1 // index into ordered of the hedge launch, if any
+		for acks < need && outstanding > 0 {
+			select {
+			case rep := <-ch:
+				outstanding--
+				wasErr := rep.err != nil
+				fromHedge := hedgedAt >= 0 && rep.peer == ordered[hedgedAt]
+				handle(rep)
+				if wasErr {
+					launchNext()
+				} else if fromHedge && acks >= need {
+					n.bump(func(s *Stats) { s.HedgeWins++ })
+				}
+			case <-hedge.C:
+				if hedgedAt < 0 && next < len(ordered) {
+					hedgedAt = next
+					launchNext()
+					n.bump(func(s *Stats) { s.HedgedReads++ })
+				}
+			case <-cctx.Done():
+				outstanding = 0
+			}
+		}
+	} else {
+		for _, p := range peers {
+			launch(p)
+		}
+		for range peers {
+			handle(<-ch)
 		}
 	}
 	// Peers missing the key are divergent only if *someone* holds state
@@ -727,15 +955,24 @@ const (
 // round has already failed the floor check (the caller counts the
 // SessionWait); every extra round counts one Stats.SessionRetries.
 func (n *Node) awaitFloor(ctx context.Context, key string, merged core.State, floor core.Context, peers []dot.ID) (core.State, error) {
+	// One reusable timer across rounds: time.After in a poll loop leaves
+	// every fired-or-not timer allocated until expiry, which under a
+	// cancellation storm (overload sheds, client timeouts) accumulates.
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for round := 0; ; round++ {
 		d := sessionPollBase << min(round, 10)
 		if d > sessionPollMax {
 			d = sessionPollMax
 		}
+		timer.Reset(d)
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("node: session floor not reached for %q: %w", key, ctx.Err())
-		case <-time.After(d):
+		case <-timer.C:
 		}
 		n.bump(func(s *Stats) { s.SessionRetries++ })
 		// The local store may have advanced independently (a racing put,
@@ -859,6 +1096,16 @@ func (n *Node) handlePut(ctx context.Context, from dot.ID, body []byte) transpor
 	if client == "" {
 		client = from
 	}
+	if n.admit != nil {
+		release, aerr := n.admit.Acquire(ctx)
+		if aerr != nil {
+			if errors.Is(aerr, admission.ErrOverload) {
+				return fail(fmt.Errorf("%w (node %s)", ErrOverload, n.cfg.ID))
+			}
+			return fail(aerr)
+		}
+		defer release()
+	}
 	n.bump(func(s *Stats) { s.ClientPuts++ })
 	rr, err := n.CoordinatePut(ctx, key, value, client, opts)
 	if err != nil {
@@ -958,7 +1205,9 @@ func (n *Node) CoordinatePut(ctx context.Context, key string, value []byte, clie
 			}
 		}
 	}
-	rr, err := n.store.Put(key, wctx, value, core.WriteInfo{Server: n.cfg.ID, Client: client})
+	rr, err := n.store.Put(key, wctx, value, core.WriteInfo{
+		Server: n.cfg.ID, Client: client, Stamp: n.now().UnixNano(),
+	})
 	if err != nil {
 		return core.ReadResult{}, err
 	}
@@ -1077,7 +1326,7 @@ func (n *Node) Suspected(peer dot.ID) bool {
 	if !ok {
 		return false
 	}
-	if time.Now().After(until) {
+	if n.now().After(until) {
 		delete(n.suspect, peer)
 		return false
 	}
@@ -1091,7 +1340,7 @@ func (n *Node) noteSendFailure(peer dot.ID) {
 		return
 	}
 	n.mu.Lock()
-	n.suspect[peer] = time.Now().Add(n.cfg.SuspicionWindow)
+	n.suspect[peer] = n.now().Add(n.cfg.SuspicionWindow)
 	n.mu.Unlock()
 }
 
@@ -1127,14 +1376,21 @@ func (n *Node) forwardPut(ctx context.Context, to dot.ID, key string, value []by
 // ---------------------------------------------------------------------------
 
 func (n *Node) replGet(ctx context.Context, peer dot.ID, key string) (core.State, bool, error) {
+	if berr := n.breakerAllow(peer); berr != nil {
+		return nil, false, berr
+	}
+	start := time.Now()
 	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
 		Method: MethodReplGet, Body: EncodeReplGetRequest(key),
 	})
+	dur := time.Since(start)
+	n.breakerReport(peer, dur, err)
 	if err != nil {
 		n.noteSendFailure(peer)
 		return nil, false, err
 	}
 	n.notePeerOK(peer)
+	n.hedgeLat.record(dur)
 	if aerr := transport.AppError(resp); aerr != nil {
 		return nil, false, aerr
 	}
@@ -1170,13 +1426,18 @@ func (n *Node) handleReplGet(body []byte) transport.Response {
 func (n *Node) replPut(ctx context.Context, peer dot.ID, key string, st core.State) error {
 	// The body is only read inside Send (both transports are synchronous),
 	// so the pooled writer's storage can be reused as soon as it returns.
+	if berr := n.breakerAllow(peer); berr != nil {
+		return berr
+	}
 	w := getWriter()
 	defer putWriter(w)
 	w.String(key)
 	n.cfg.Mech.EncodeState(w, st)
+	start := time.Now()
 	resp, err := n.cfg.Transport.Send(ctx, n.cfg.ID, peer, transport.Request{
 		Method: MethodReplPut, Body: w.Bytes(),
 	})
+	n.breakerReport(peer, time.Since(start), err)
 	if err != nil {
 		n.noteSendFailure(peer)
 		return err
@@ -1220,6 +1481,8 @@ func statsFields(s *Stats) []*uint64 {
 		&s.AETreeRounds, &s.AETreeNodes, &s.SessionWaits, &s.SessionRetries,
 		&s.StoreKeys, &s.CacheBytes, &s.CacheHits, &s.CacheMisses,
 		&s.Spills, &s.Faults, &s.Segments, &s.WALAppends, &s.Checkpoints,
+		&s.Shed, &s.QueueDelayP99, &s.BreakerOpens, &s.BreakerFastFails,
+		&s.BreakerProbes, &s.HedgedReads, &s.HedgeWins, &s.BrownoutServed,
 	}
 }
 
@@ -1645,7 +1908,7 @@ func (n *Node) DeliverHints(ctx context.Context) {
 	// Backoff gate: a peer whose previous redelivery rounds all failed is
 	// skipped until its suppression window expires, so a partition-long
 	// failure streak costs O(log) attempts instead of one per AE tick.
-	now := time.Now()
+	now := n.now()
 	attempt := targets[:0]
 	n.mu.Lock()
 	for _, tgt := range targets {
@@ -1703,7 +1966,7 @@ func (n *Node) DeliverHints(ctx context.Context) {
 			n.hintRetry[tgt] = rs
 		}
 		rs.fails++
-		rs.until = time.Now().Add(n.backoffFor(rs.fails, hintBackoffBase, hintBackoffMax))
+		rs.until = n.now().Add(n.backoffFor(rs.fails, hintBackoffBase, hintBackoffMax))
 	}
 	n.mu.Unlock()
 }

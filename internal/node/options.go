@@ -122,6 +122,19 @@ func IsNotFound(err error) bool {
 	return err != nil && (errors.Is(err, ErrNotFound) || strings.Contains(err.Error(), ErrNotFound.Error()))
 }
 
+// ErrOverload reports a client request shed by admission control
+// (Config.MaxInFlight): the coordinator was saturated and rejected the
+// request fast instead of queueing it toward the timeout. Clients should
+// back off or retry elsewhere — subject to their retry budget.
+var ErrOverload = errors.New("node: overloaded")
+
+// IsOverload reports whether err is ErrOverload, including instances
+// that crossed the transport (possibly repeatedly, e.g. through a
+// forwarding coordinator) as an application-error string.
+func IsOverload(err error) bool {
+	return err != nil && (errors.Is(err, ErrOverload) || strings.Contains(err.Error(), ErrOverload.Error()))
+}
+
 // EncodeReadOptions appends o's canonical wire form: level, R override,
 // not-found flag, then the optional session floor behind a presence flag.
 func EncodeReadOptions(w *codec.Writer, m core.Mechanism, o ReadOptions) {

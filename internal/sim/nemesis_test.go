@@ -2,6 +2,7 @@ package sim
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -70,5 +71,34 @@ func TestNemesisTableShape(t *testing.T) {
 	}
 	if len(table.Headers) != 17 {
 		t.Fatalf("headers = %v", table.Headers)
+	}
+}
+
+// TestNemesisClockSkewClean is the E4 clock-skew variant: the full
+// nemesis timeline plus node wall clocks skewed ±30s (a 60s spread
+// between adjacent replicas). Dot-issuance stamps, suspicion windows and
+// hint backoff all run on the skewed clocks, and none of it may matter:
+// causality is (server, counter) dots, so the DVV verdicts must stay
+// CLEAN — the structural proof that no timestamp leaks into supersession.
+func TestNemesisClockSkewClean(t *testing.T) {
+	cfg := DefaultNemesisConfig()
+	cfg.ClockSkew = 30 * time.Second
+	if testing.Short() {
+		cfg.Keys, cfg.WritesPerWriter = 4, 12
+	}
+	results, table, err := RunNemesis(cfg, core.NewDVV(), core.NewDVVSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table.String())
+	for _, r := range results {
+		if !r.Faulted() {
+			t.Errorf("%s: fault timeline never fired under skew", r.Mechanism)
+		}
+		if !r.Clean() {
+			t.Errorf("%s under ±30s skew: DIVERGED: incomplete=%d lost=%d false-conflicts=%d dup-dots=%d pending-hints=%d disagree=%d",
+				r.Mechanism, r.Incomplete, r.Lost, r.FalseConflicts,
+				r.DuplicateDots, r.PendingHints, r.Disagree)
+		}
 	}
 }

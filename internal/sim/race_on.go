@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Timing-sensitive experiments scale their injected I/O
+// service times up under the detector so they keep measuring the
+// system (I/O-bound) rather than the detector (CPU-bound).
+const raceEnabled = true

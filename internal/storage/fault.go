@@ -9,6 +9,7 @@ package storage
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"time"
 )
@@ -19,6 +20,20 @@ import (
 // (write-ahead order holds — a failed append never installs).
 var ErrInjectedFault = errors.New("storage: injected disk fault")
 
+// ErrDiskFull is the persistent error returned by every mutation while a
+// FailWrites fault is armed — the ENOSPC shape: the disk stays full
+// until an operator (the test) clears it, each refused write leaves the
+// log and memory exactly as they were, and reads keep working. Like
+// ErrNotFound it is recognised across the transport by flattened-string
+// matching (IsDiskFull).
+var ErrDiskFull = errors.New("storage: disk full (injected)")
+
+// IsDiskFull reports whether err is (or wraps, or carries the flattened
+// string of) ErrDiskFull.
+func IsDiskFull(err error) bool {
+	return err != nil && (errors.Is(err, ErrDiskFull) || strings.Contains(err.Error(), ErrDiskFull.Error()))
+}
+
 // FaultStats counts injections actually delivered, so an experiment can
 // assert its fault schedule fired.
 type FaultStats struct {
@@ -26,6 +41,9 @@ type FaultStats struct {
 	Stalls uint64
 	// FailedAppends counts appends failed with ErrInjectedFault.
 	FailedAppends uint64
+	// FailedWrites counts appends refused with ErrDiskFull while the
+	// persistent disk-full fault was armed.
+	FailedWrites uint64
 }
 
 // Faults is a disk-fault injector shared between a scheduler goroutine
@@ -36,6 +54,7 @@ type Faults struct {
 	mu          sync.Mutex
 	stallDur    time.Duration
 	failAppends int
+	diskFull    bool
 	stats       FaultStats
 }
 
@@ -56,12 +75,23 @@ func (f *Faults) FailNextAppends(n int) {
 	f.failAppends = n
 }
 
+// FailWrites arms (or, with false, clears) the persistent disk-full
+// fault: every WAL append fails with ErrDiskFull until cleared. Unlike
+// FailNextAppends nothing is consumed — the disk stays full, the ENOSPC
+// scenario. Reads are unaffected.
+func (f *Faults) FailWrites(full bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.diskFull = full
+}
+
 // Clear removes every scheduled fault (counters are kept).
 func (f *Faults) Clear() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.stallDur = 0
 	f.failAppends = 0
+	f.diskFull = false
 }
 
 // Stats returns a snapshot of the injection counters.
@@ -71,10 +101,15 @@ func (f *Faults) Stats() FaultStats {
 	return f.stats
 }
 
-// appendErr consumes one scheduled append failure, if any.
+// appendErr consumes one scheduled append failure, if any; a full disk
+// refuses every append without consuming anything.
 func (f *Faults) appendErr() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.diskFull {
+		f.stats.FailedWrites++
+		return ErrDiskFull
+	}
 	if f.failAppends <= 0 {
 		return nil
 	}

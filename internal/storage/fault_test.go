@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -110,5 +111,78 @@ func TestFaultClearAndZeroValue(t *testing.T) {
 	}
 	if d := f.stall(); d != 0 {
 		t.Fatalf("after Clear stall = %v", d)
+	}
+}
+
+// TestFaultDiskFull proves the ENOSPC shape on both engines: while the
+// persistent disk-full fault is armed every write is refused with the
+// typed ErrDiskFull, nothing half-installs (memory, log and dot counters
+// untouched), reads keep serving the pre-fault state, and clearing the
+// fault restores writes — all without a reopen.
+func TestFaultDiskFull(t *testing.T) {
+	faultEngines(t, func(t *testing.T, e Engine, f *Faults, reopen func() Engine) {
+		m := core.NewDVV()
+		w := core.WriteInfo{Server: "S1", Client: "c1"}
+
+		if _, err := e.Put("k", m.EmptyContext(), []byte("before"), w); err != nil {
+			t.Fatal(err)
+		}
+		preHash := e.KeyHash("k")
+
+		f.FailWrites(true)
+		for i := 0; i < 3; i++ {
+			_, err := e.Put("k", m.EmptyContext(), []byte("during"), w)
+			if !errors.Is(err, ErrDiskFull) {
+				t.Fatalf("put %d on a full disk: %v (want ErrDiskFull)", i, err)
+			}
+			if !IsDiskFull(err) {
+				t.Fatalf("IsDiskFull(%v) = false", err)
+			}
+		}
+		// Persistent, not consumed: still full after three refusals.
+		if _, err := e.Put("k2", m.EmptyContext(), []byte("x"), w); !errors.Is(err, ErrDiskFull) {
+			t.Fatalf("disk-full fault was consumed: %v", err)
+		}
+		if got := f.Stats().FailedWrites; got != 4 {
+			t.Fatalf("FailedWrites = %d, want 4", got)
+		}
+		// No half-installed state: reads serve exactly the pre-fault value.
+		rr, ok := e.Get("k")
+		if !ok || len(rr.Values) != 1 || string(rr.Values[0]) != "before" {
+			t.Fatalf("read during disk-full: ok=%v values=%q", ok, rr.Values)
+		}
+		if e.KeyHash("k") != preHash {
+			t.Fatal("refused writes mutated the key's state hash")
+		}
+		if _, ok := e.Get("k2"); ok {
+			t.Fatal("refused put of a fresh key is visible")
+		}
+
+		// Space freed: writes resume, and the recovered write is durable.
+		f.FailWrites(false)
+		if _, err := e.Put("k", m.EmptyContext(), []byte("after"), w); err != nil {
+			t.Fatalf("put after clearing disk-full: %v", err)
+		}
+		e = reopen()
+		rr, ok = e.Get("k")
+		if !ok {
+			t.Fatal("key lost after reopen")
+		}
+		vals := map[string]bool{}
+		for _, v := range rr.Values {
+			vals[string(v)] = true
+		}
+		if !vals["after"] {
+			t.Fatalf("post-recovery write not durable: %q", rr.Values)
+		}
+	})
+}
+
+func TestIsDiskFullFlattened(t *testing.T) {
+	if !IsDiskFull(fmt.Errorf("node n01: %s", ErrDiskFull.Error())) {
+		t.Fatal("flattened disk-full string not recognised")
+	}
+	if IsDiskFull(errors.New("some other error")) || IsDiskFull(nil) {
+		t.Fatal("false positive")
 	}
 }
